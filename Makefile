@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench exp-small exp-medium examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every paper table/figure at benchmark (tiny) scale.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure from the CLI.
+exp-small:
+	$(GO) run ./cmd/vertigo-exp -scale small -parallel 2 all
+
+exp-medium:
+	$(GO) run ./cmd/vertigo-exp -scale medium -parallel 2 all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hoststack
+	$(GO) run ./examples/incast
+	$(GO) run ./examples/fattree
+	$(GO) run ./examples/failover
+
+clean:
+	$(GO) clean ./...

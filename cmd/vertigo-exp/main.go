@@ -1,0 +1,137 @@
+// Command vertigo-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vertigo-exp [-scale tiny|small|medium|paper] [-v] <experiment>...
+//	vertigo-exp -list
+//	vertigo-exp all
+//
+// Experiments map one-to-one to the paper's evaluation artifacts: fig1,
+// fig5–fig13, table2, table3, sec2, plus the extra "defset" ablation.
+// Absolute numbers depend on the scale; the orderings and trends are the
+// reproduction targets (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"vertigo/internal/exp"
+)
+
+func main() {
+	var (
+		scale   = flag.String("scale", "small", "scale preset: tiny|small|medium|paper")
+		verbose = flag.Bool("v", false, "print one progress line per simulation run")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		par     = flag.Int("parallel", 1, "experiments to run concurrently (tables still print in order)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			e, _ := exp.ByID(id)
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	sc, err := exp.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *verbose {
+		exp.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vertigo-exp [-scale S] [-parallel N] [-csv DIR] [-v] <experiment>... | all | -list")
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		ids = exp.IDs()
+	} else {
+		ids = args
+	}
+
+	fmt.Printf("scale=%s (%d hosts leaf-spine, fat-tree k=%d, %v simulated)\n\n",
+		sc.Name, sc.Hosts(), sc.FatTreeK, sc.SimTime)
+
+	// Resolve everything up front so typos fail before hours of simulation.
+	exps := make([]*exp.Experiment, len(ids))
+	for i, id := range ids {
+		e, err := exp.ByID(strings.ToLower(id))
+		if err != nil {
+			fatal(err)
+		}
+		exps[i] = e
+	}
+
+	// Experiments are independent deterministic simulations: run up to
+	// -parallel of them concurrently, but print results in request order.
+	type outcome struct {
+		tables []*exp.Table
+		err    error
+	}
+	results := make([]outcome, len(exps))
+	sem := make(chan struct{}, max(1, *par))
+	var wg sync.WaitGroup
+	for i, e := range exps {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tables, err := e.Run(sc)
+			results[i] = outcome{tables, err}
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		tables := r.tables
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s-%d.csv", t.ID, i)
+				if len(tables) == 1 {
+					name = t.ID + ".csv"
+				}
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fatal(err)
+				}
+				if err := t.WriteCSV(f); err != nil {
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vertigo-exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package vertigo
+
+import (
+	"time"
+
+	"vertigo/internal/host"
+	"vertigo/internal/packet"
+	"vertigo/internal/units"
+)
+
+// This file re-exports the deployable end-host components and wire formats,
+// so downstream users get the Vertigo stack pieces without touching the
+// simulator: the TX marking component, the RX ordering component, and the
+// two flowinfo header encodings of paper Fig. 3.
+
+// FlowInfo is Vertigo's per-packet auxiliary header (paper Fig. 3).
+type FlowInfo = packet.FlowInfo
+
+// Segment is a frame handed to or released by the Orderer.
+type Segment = host.WireSegment
+
+// Wire encoding sizes and identifiers (paper Fig. 3).
+const (
+	ShimHeaderLen = packet.ShimHeaderLen // layer-3 shim: 7 bytes
+	OptionLen     = packet.OptionLen     // IPv4 option: 8 bytes
+	ShimEtherType = packet.ShimEtherType
+	MSS           = packet.MSS
+)
+
+// EncodeShim writes the shim layer-3 encoding of f into b.
+func EncodeShim(b []byte, f FlowInfo, innerEtherType uint16) (int, error) {
+	return packet.EncodeShim(b, f, innerEtherType)
+}
+
+// DecodeShim parses a shim header, returning the flowinfo fields and the
+// encapsulated EtherType.
+func DecodeShim(b []byte) (FlowInfo, uint16, error) {
+	return packet.DecodeShim(b)
+}
+
+// EncodeOption writes the IPv4-option encoding of f into b.
+func EncodeOption(b []byte, f FlowInfo) (int, error) {
+	return packet.EncodeOption(b, f)
+}
+
+// DecodeOption parses the IPv4-option encoding.
+func DecodeOption(b []byte) (FlowInfo, error) {
+	return packet.DecodeOption(b)
+}
+
+// Marker is the TX-path marking component (paper §3.1): it tracks outgoing
+// flows, tags every segment with the flow's remaining bytes, detects
+// retransmissions with a cuckoo filter, and boosts their priority.
+type Marker = host.WireMarker
+
+// Orderer is the RX-path ordering component (paper §3.3): it re-sequences
+// out-of-order (deflected) segments before the transport sees them, holding
+// early segments for at most the ordering timeout τ.
+type Orderer = host.WireOrderer
+
+// MarkerOptions configures a Marker.
+type MarkerOptions struct {
+	// LAS switches to flow-aging marking for when flow sizes are unknown
+	// (paper §4.3); default is SRPT remaining-size marking.
+	LAS bool
+	// BoostFactor is the power-of-two priority boost per retransmission
+	// (paper default 2). Zero selects 2; 1 disables boosting.
+	BoostFactor int
+	// FlowCapacity hints the expected number of concurrent in-flight
+	// segments for sizing the duplicate-detection filter.
+	FlowCapacity int
+}
+
+// NewMarker returns a TX-path marking component.
+func NewMarker(opts MarkerOptions) *Marker {
+	cfg := host.DefaultMarkerConfig()
+	if opts.LAS {
+		cfg.Discipline = host.LAS
+	}
+	switch {
+	case opts.BoostFactor == 1:
+		cfg.Boosting = false
+	case opts.BoostFactor > 1:
+		log2 := uint(0)
+		for f := opts.BoostFactor; f > 1; f >>= 1 {
+			log2++
+		}
+		cfg.BoostFactorLog2 = log2
+	}
+	cfg.FilterCapacity = opts.FlowCapacity
+	return host.NewWireMarker(cfg)
+}
+
+// OrdererOptions configures an Orderer.
+type OrdererOptions struct {
+	// Timeout is τ, the longest an early segment is held while waiting for
+	// a delayed one (paper default 360µs).
+	Timeout time.Duration
+	// LAS and BoostFactor must match the sender's MarkerOptions.
+	LAS         bool
+	BoostFactor int
+}
+
+// NewOrderer returns an RX-path ordering component.
+func NewOrderer(opts OrdererOptions) *Orderer {
+	cfg := host.DefaultOrdererConfig()
+	if opts.Timeout > 0 {
+		cfg.Timeout = units.FromDuration(opts.Timeout)
+	}
+	if opts.LAS {
+		cfg.Discipline = host.LAS
+	}
+	if opts.BoostFactor > 1 {
+		log2 := uint(0)
+		for f := opts.BoostFactor; f > 1; f >>= 1 {
+			log2++
+		}
+		cfg.BoostFactorLog2 = log2
+	}
+	return host.NewWireOrderer(cfg)
+}

@@ -1,0 +1,46 @@
+// Incast comparison: the paper's core scenario. A fixed background load plus
+// increasingly aggressive incast queries, across all four forwarding schemes.
+// Reproduces the shape of paper Figures 5/8 at example scale: ECMP and
+// random deflection (DIBS) stop completing queries as the burst intensity
+// grows, while Vertigo keeps absorbing them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vertigo"
+)
+
+func main() {
+	schemes := []vertigo.Scheme{
+		vertigo.SchemeECMP, vertigo.SchemeDRILL, vertigo.SchemeDIBS, vertigo.SchemeVertigo,
+	}
+	loads := []float64{0.30, 0.50, 0.70}
+
+	fmt.Println("16-host leaf-spine, DCTCP, 15% background + rising incast load")
+	fmt.Printf("%-8s  %-6s  %-12s  %-12s  %-10s  %s\n",
+		"scheme", "load", "queries", "mean QCT", "drops", "deflections")
+	for _, scheme := range schemes {
+		for _, load := range loads {
+			cfg := vertigo.Defaults(scheme, vertigo.TransportDCTCP)
+			cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf = 2, 4, 4
+			cfg.Duration = 60 * time.Millisecond
+			cfg.BackgroundLoad = 0.15
+			cfg.IncastScale = 10
+			cfg.IncastFlowKB = 40
+			cfg.IncastLoad = load - cfg.BackgroundLoad
+
+			rep, err := vertigo.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s  %-6.0f%%  %4d/%-6d  %-12v  %-10d  %d\n",
+				scheme, load*100, rep.QueriesCompleted, rep.QueriesStarted,
+				rep.MeanQCT, rep.Drops, rep.Deflections)
+		}
+	}
+	fmt.Println("\nexpected shape: Vertigo completes the most queries at every load,")
+	fmt.Println("and is the only scheme whose QCT stays flat as the load grows.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: run one Vertigo simulation with the public API and print the
+// headline metrics. This is the 30-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vertigo"
+)
+
+func main() {
+	// Start from the paper's defaults, then shrink the fabric and horizon so
+	// the example finishes in seconds on a laptop.
+	cfg := vertigo.Defaults(vertigo.SchemeVertigo, vertigo.TransportDCTCP)
+	cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf = 2, 4, 4 // 16 hosts
+	cfg.Duration = 50 * time.Millisecond
+
+	// Offer 25% background traffic (Facebook cache-follower sizes) plus 25%
+	// incast load: 8-way queries of 40 KB responses.
+	cfg.BackgroundLoad = 0.25
+	cfg.IncastScale = 8
+	cfg.IncastFlowKB = 40
+	cfg.IncastLoad = 0.25
+
+	rep, err := vertigo.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Vertigo + DCTCP on a 16-host leaf-spine, 50% offered load")
+	fmt.Printf("  queries completed:  %d/%d (%.1f%%)\n",
+		rep.QueriesCompleted, rep.QueriesStarted, rep.QueryCompletionPct)
+	fmt.Printf("  mean / p99 QCT:     %v / %v\n", rep.MeanQCT, rep.P99QCT)
+	fmt.Printf("  mean / p99 FCT:     %v / %v\n", rep.MeanFCT, rep.P99FCT)
+	fmt.Printf("  packets deflected:  %d (drops: %d, %.4f%%)\n",
+		rep.Deflections, rep.Drops, rep.DropRatePct)
+	fmt.Printf("  reordering seen by transport: %d packets\n", rep.ReorderedPackets)
+}

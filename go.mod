@@ -1,0 +1,3 @@
+module vertigo
+
+go 1.22

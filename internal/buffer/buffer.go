@@ -1,0 +1,190 @@
+// Package buffer implements the switch output queues: a classic drop-tail
+// FIFO and a rank-sorted queue modelled on hardware PIFO/PIEO schedulers,
+// extended (as the paper's §A.3 extends PIEO) with extraction from the tail
+// of the priority list. Capacities are byte-denominated, matching shallow-
+// buffered datacenter switch ports.
+package buffer
+
+import (
+	"sort"
+
+	"vertigo/internal/packet"
+	"vertigo/internal/units"
+)
+
+// Queue is a bounded packet queue. Implementations track occupancy in bytes
+// against a fixed capacity; admission control (what to do when a packet does
+// not fit) is the forwarding policy's job, so Push on a queue without room
+// reports failure rather than dropping silently.
+type Queue interface {
+	// Push enqueues p if it fits within capacity, reporting success.
+	Push(p *packet.Packet) bool
+	// Pop removes and returns the next packet to transmit, or nil.
+	Pop() *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns current occupancy in bytes.
+	Bytes() units.ByteSize
+	// Cap returns the byte capacity.
+	Cap() units.ByteSize
+	// Fits reports whether a packet of size n would currently fit.
+	Fits(n units.ByteSize) bool
+}
+
+// DropTailQueue is a FIFO with byte-based admission: the queue used by the
+// ECMP, DRILL and DIBS fabrics.
+type DropTailQueue struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes units.ByteSize
+	cap   units.ByteSize
+}
+
+// NewDropTail returns an empty FIFO with the given byte capacity.
+func NewDropTail(capacity units.ByteSize) *DropTailQueue {
+	return &DropTailQueue{cap: capacity}
+}
+
+// Push appends p if it fits.
+func (q *DropTailQueue) Push(p *packet.Packet) bool {
+	n := p.Size()
+	if q.bytes+n > q.cap {
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += n
+	return true
+}
+
+// Pop removes the head packet.
+func (q *DropTailQueue) Pop() *packet.Packet {
+	if q.head >= len(q.pkts) {
+		return nil
+	}
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Size()
+	// Reclaim the consumed prefix once it dominates the slice.
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		q.pkts = append(q.pkts[:0], q.pkts[q.head:]...)
+		q.head = 0
+	}
+	return p
+}
+
+// Len returns the queue length in packets.
+func (q *DropTailQueue) Len() int { return len(q.pkts) - q.head }
+
+// Bytes returns occupancy in bytes.
+func (q *DropTailQueue) Bytes() units.ByteSize { return q.bytes }
+
+// Cap returns the byte capacity.
+func (q *DropTailQueue) Cap() units.ByteSize { return q.cap }
+
+// Fits reports whether n more bytes fit.
+func (q *DropTailQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap }
+
+// SortedQueue keeps packets ordered by ascending rank (Vertigo's RFS), with
+// FIFO order among equal ranks. Pop returns the minimum-rank packet; the
+// tail (maximum rank, youngest among ties) can be inspected and extracted,
+// which is the PIEO extension Vertigo's overflow handling requires.
+//
+// The backing store is a sorted slice: datacenter ports hold at most a few
+// hundred frames (300 KB / 1500 B = 200), so binary-search insertion with a
+// memmove beats pointer-chasing tree structures at this scale.
+type SortedQueue struct {
+	pkts  []*packet.Packet
+	bytes units.ByteSize
+	cap   units.ByteSize
+}
+
+// NewSorted returns an empty rank-sorted queue with the given byte capacity.
+func NewSorted(capacity units.ByteSize) *SortedQueue {
+	return &SortedQueue{cap: capacity}
+}
+
+// insertionPoint returns the index where a packet with the given rank is
+// inserted: after all packets with rank <= r (FIFO among equals).
+func (q *SortedQueue) insertionPoint(r uint32) int {
+	return sort.Search(len(q.pkts), func(i int) bool { return q.pkts[i].Rank() > r })
+}
+
+// Push inserts p by rank if it fits.
+func (q *SortedQueue) Push(p *packet.Packet) bool {
+	n := p.Size()
+	if q.bytes+n > q.cap {
+		return false
+	}
+	q.insert(p)
+	return true
+}
+
+func (q *SortedQueue) insert(p *packet.Packet) {
+	i := q.insertionPoint(p.Rank())
+	q.pkts = append(q.pkts, nil)
+	copy(q.pkts[i+1:], q.pkts[i:])
+	q.pkts[i] = p
+	q.bytes += p.Size()
+}
+
+// Pop removes and returns the minimum-rank packet.
+func (q *SortedQueue) Pop() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	copy(q.pkts, q.pkts[1:])
+	q.pkts[len(q.pkts)-1] = nil
+	q.pkts = q.pkts[:len(q.pkts)-1]
+	q.bytes -= p.Size()
+	return p
+}
+
+// Tail returns the maximum-rank packet without removing it, or nil.
+// Among equal maximal ranks the youngest (most recently inserted) packet is
+// the tail, so repeated tail extraction under overflow evicts the packets
+// that arrived during the burst first.
+func (q *SortedQueue) Tail() *packet.Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	return q.pkts[len(q.pkts)-1]
+}
+
+// ExtractTail removes and returns the maximum-rank packet, or nil.
+func (q *SortedQueue) ExtractTail() *packet.Packet {
+	n := len(q.pkts)
+	if n == 0 {
+		return nil
+	}
+	p := q.pkts[n-1]
+	q.pkts[n-1] = nil
+	q.pkts = q.pkts[:n-1]
+	q.bytes -= p.Size()
+	return p
+}
+
+// ForceInsert inserts p by rank regardless of capacity, then evicts tail
+// packets until occupancy is within capacity again. It returns the evicted
+// packets (possibly including p itself, when p carries the largest rank).
+// This implements the paper's "insert and drop from the tail" overflow rule.
+func (q *SortedQueue) ForceInsert(p *packet.Packet) (evicted []*packet.Packet) {
+	q.insert(p)
+	for q.bytes > q.cap {
+		evicted = append(evicted, q.ExtractTail())
+	}
+	return evicted
+}
+
+// Len returns the queue length in packets.
+func (q *SortedQueue) Len() int { return len(q.pkts) }
+
+// Bytes returns occupancy in bytes.
+func (q *SortedQueue) Bytes() units.ByteSize { return q.bytes }
+
+// Cap returns the byte capacity.
+func (q *SortedQueue) Cap() units.ByteSize { return q.cap }
+
+// Fits reports whether n more bytes fit.
+func (q *SortedQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap }

@@ -1,0 +1,62 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+
+	"vertigo/internal/packet"
+	"vertigo/internal/pieo"
+)
+
+// TestSortedQueueMatchesPIEO cross-validates the fabric's SortedQueue
+// against the independent PIEO implementation: driven by the same random
+// operation sequence, both must release identical rank sequences. Two
+// implementations agreeing under random interleavings of insert, pop-min
+// and extract-tail is strong evidence neither has an ordering bug.
+func TestSortedQueueMatchesPIEO(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sq := NewSorted(1 << 30)
+		pl := pieo.NewList[*packet.Packet](256)
+		live := 0
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(4); {
+			case r <= 1 || live == 0: // insert (biased so queues stay busy)
+				p := &packet.Packet{
+					Kind: packet.Data, Marked: true,
+					PayloadLen: 100,
+					Info:       packet.FlowInfo{RFS: uint32(rng.Intn(50))}, // ties likely
+				}
+				p.ID = uint64(op + 1)
+				sq.Push(p)
+				pl.Insert(pieo.Item[*packet.Packet]{Value: p, Rank: p.Info.RFS})
+				live++
+			case r == 2: // pop min
+				a := sq.Pop()
+				b, ok := pl.ExtractMin(0)
+				if a == nil || !ok {
+					t.Fatalf("trial %d op %d: pop disagreement (nil=%v ok=%v)", trial, op, a == nil, ok)
+				}
+				if a.Info.RFS != b.Rank || a.ID != b.Value.ID {
+					t.Fatalf("trial %d op %d: pop-min mismatch: sorted(%d,#%d) pieo(%d,#%d)",
+						trial, op, a.Info.RFS, a.ID, b.Rank, b.Value.ID)
+				}
+				live--
+			default: // extract tail
+				a := sq.ExtractTail()
+				b, ok := pl.ExtractTail()
+				if a == nil || !ok {
+					t.Fatalf("trial %d op %d: tail disagreement", trial, op)
+				}
+				if a.Info.RFS != b.Rank || a.ID != b.Value.ID {
+					t.Fatalf("trial %d op %d: tail mismatch: sorted(%d,#%d) pieo(%d,#%d)",
+						trial, op, a.Info.RFS, a.ID, b.Rank, b.Value.ID)
+				}
+				live--
+			}
+			if sq.Len() != pl.Len() {
+				t.Fatalf("trial %d op %d: length mismatch %d vs %d", trial, op, sq.Len(), pl.Len())
+			}
+		}
+	}
+}

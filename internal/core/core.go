@@ -1,0 +1,287 @@
+// Package core assembles the substrates into runnable scenarios: it builds
+// the topology, fabric, hosts, transports and workloads from one Config,
+// runs the event loop to the simulated deadline, and returns the metrics
+// digest. This is the simulator's equivalent of the paper's OMNeT++
+// scenario files.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/host"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/telemetry"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+	"vertigo/internal/workload"
+)
+
+// TopoKind selects a topology family.
+type TopoKind int
+
+// Topology kinds.
+const (
+	LeafSpine TopoKind = iota
+	FatTree
+)
+
+func (k TopoKind) String() string {
+	if k == FatTree {
+		return "fattree"
+	}
+	return "leafspine"
+}
+
+// Config describes one simulation scenario.
+type Config struct {
+	Seed    int64
+	SimTime units.Time
+
+	// Topology. Exactly one of LeafSpineCfg/FatTreeCfg is used per Kind.
+	Kind         TopoKind
+	LeafSpineCfg topo.LeafSpineConfig
+	FatTreeCfg   topo.FatTreeConfig
+
+	Fabric    fabric.Config
+	Transport transport.Config
+
+	// VertigoStack enables the host marking/ordering components. It is
+	// forced on when the fabric policy is Vertigo.
+	VertigoStack bool
+	Marker       host.MarkerConfig
+	Orderer      host.OrdererConfig
+
+	// Background traffic.
+	BGLoad float64 // fraction of aggregate host capacity
+	BGDist *workload.SizeDist
+	// Trace, when non-nil, replays an explicit flow schedule in addition to
+	// (or instead of) the synthetic background load.
+	Trace *workload.Trace
+
+	// Incast application.
+	IncastQPS      float64
+	IncastScale    int
+	IncastFlowSize int64
+	IncastPeriodic bool // fixed-interval queries instead of Poisson (§2)
+	RequestDelay   units.Time
+
+	// Telemetry attaches a monitoring observer to the fabric (§5).
+	Telemetry       bool
+	TelemetryConfig telemetry.Config
+	// PacketTrace, when non-nil, receives one line per dataplane event
+	// (fleet-wide packet capture); PacketTraceFlow filters to one flow
+	// (0 = all flows — beware volume).
+	PacketTrace     io.Writer
+	PacketTraceFlow uint64
+
+	// LinkFailures schedules dataplane link failures (an extension beyond
+	// the paper: deflection-capable schemes route around carrier loss in
+	// place, while ECMP/DRILL blackhole until the control plane would heal).
+	LinkFailures []LinkFailure
+}
+
+// LinkFailure kills one topology link at a point in simulated time.
+type LinkFailure struct {
+	Link int // index into the topology's Links
+	At   units.Time
+}
+
+// DefaultConfig returns the paper's Table 1 defaults on the paper's
+// leaf-spine topology for the given scheme/transport combination.
+func DefaultConfig(policy fabric.Policy, proto transport.Protocol) Config {
+	tc := transport.DefaultConfig(proto)
+	if policy == fabric.DIBS {
+		// DIBS disables fast retransmit to survive deflection reordering
+		// (paper §2).
+		tc.FastRetransmit = false
+	}
+	return Config{
+		Seed:           1,
+		SimTime:        5 * units.Second,
+		Kind:           LeafSpine,
+		LeafSpineCfg:   topo.PaperLeafSpine(),
+		FatTreeCfg:     topo.PaperFatTree(),
+		Fabric:         fabric.DefaultConfig(policy),
+		Transport:      tc,
+		VertigoStack:   policy == fabric.Vertigo,
+		Marker:         host.DefaultMarkerConfig(),
+		Orderer:        host.DefaultOrdererConfig(),
+		BGLoad:         0.5,
+		BGDist:         workload.CacheFollower,
+		IncastQPS:      4000,
+		IncastScale:    100,
+		IncastFlowSize: 40 * 1000,
+		RequestDelay:   5 * units.Microsecond,
+	}
+}
+
+// HostRate returns the access-link rate of the configured topology.
+func (c *Config) HostRate() units.BitRate {
+	if c.Kind == FatTree {
+		return c.FatTreeCfg.Rate
+	}
+	return c.LeafSpineCfg.HostRate
+}
+
+// NumHosts returns the host count of the configured topology.
+func (c *Config) NumHosts() int {
+	if c.Kind == FatTree {
+		k := c.FatTreeCfg.K
+		return k * k * k / 4
+	}
+	return c.LeafSpineCfg.Leaves * c.LeafSpineCfg.HostsPerLeaf
+}
+
+// SetIncastLoad sets IncastQPS so the incast traffic offers the given load
+// fraction with the current scale and flow size.
+func (c *Config) SetIncastLoad(load float64) {
+	c.IncastQPS = workload.QPSForLoad(load, c.NumHosts(), c.IncastScale, c.IncastFlowSize, c.HostRate())
+}
+
+// Result bundles a run's summary with the raw collector for deep analysis.
+type Result struct {
+	Summary   *metrics.Summary
+	Collector *metrics.Collector
+	Events    uint64
+	// Telemetry is non-nil when Config.Telemetry was set.
+	Telemetry *telemetry.Monitor
+}
+
+// Run executes the scenario and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.SimTime <= 0 {
+		return nil, fmt.Errorf("core: non-positive sim time %v", cfg.SimTime)
+	}
+	var (
+		t   *topo.Topology
+		err error
+	)
+	switch cfg.Kind {
+	case LeafSpine:
+		t, err = topo.NewLeafSpine(cfg.LeafSpineCfg)
+	case FatTree:
+		t, err = topo.NewFatTree(cfg.FatTreeCfg)
+	default:
+		err = fmt.Errorf("core: unknown topology kind %d", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	met := metrics.NewCollector()
+	net := fabric.New(eng, t, met, cfg.Fabric)
+	ids := &packet.IDGen{}
+
+	var mon *telemetry.Monitor
+	var tracer *telemetry.Tracer
+	var observers telemetry.Tee
+	if cfg.Telemetry {
+		mon = telemetry.NewMonitor(eng, cfg.TelemetryConfig)
+		observers = append(observers, mon)
+	}
+	if cfg.PacketTrace != nil {
+		tracer = telemetry.NewTracer(eng, cfg.PacketTrace, cfg.PacketTraceFlow)
+		observers = append(observers, tracer)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		if mon != nil {
+			net.SetObserver(mon)
+		} else {
+			net.SetObserver(tracer)
+		}
+	default:
+		net.SetObserver(observers)
+	}
+	for _, lf := range cfg.LinkFailures {
+		if err := net.FailLinkAt(lf.Link, lf.At); err != nil {
+			return nil, err
+		}
+	}
+
+	vertigoStack := cfg.VertigoStack || cfg.Fabric.Policy == fabric.Vertigo
+	// Keep marker and orderer disciplines/boosting consistent.
+	ocfg := cfg.Orderer
+	ocfg.Discipline = cfg.Marker.Discipline
+	ocfg.BoostFactorLog2 = cfg.Marker.BoostFactorLog2
+
+	hosts := make([]*host.Host, t.NumHosts)
+	for i := 0; i < t.NumHosts; i++ {
+		h := host.NewHost(i, eng, net, met, cfg.Marker, ocfg, vertigoStack)
+		h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+			return transport.NewReceiver(h, met, ids, first)
+		})
+		hosts[i] = h
+	}
+
+	starter := func(src, dst int, size int64, incast bool, query int) {
+		spec := transport.FlowSpec{
+			ID:     ids.Next(),
+			Src:    src,
+			Dst:    dst,
+			Size:   size,
+			Incast: incast,
+			Query:  query,
+		}
+		transport.NewSender(hosts[src], met, cfg.Transport, ids, spec, nil).Start()
+	}
+
+	if cfg.BGLoad > 0 {
+		dist := cfg.BGDist
+		if dist == nil {
+			dist = workload.CacheFollower
+		}
+		bg := &workload.Background{
+			Eng:      eng,
+			Hosts:    t.NumHosts,
+			Dist:     dist,
+			HostRate: cfg.HostRate(),
+			Load:     cfg.BGLoad,
+			Start:    starter,
+		}
+		bg.Run(cfg.SimTime)
+	}
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Validate(t.NumHosts); err != nil {
+			return nil, err
+		}
+		cfg.Trace.Run(eng, cfg.SimTime, starter)
+	}
+	if cfg.IncastQPS > 0 && cfg.IncastScale > 0 {
+		ic := &workload.Incast{
+			Eng:          eng,
+			Met:          met,
+			Hosts:        t.NumHosts,
+			QPS:          cfg.IncastQPS,
+			Scale:        cfg.IncastScale,
+			FlowSize:     cfg.IncastFlowSize,
+			Periodic:     cfg.IncastPeriodic,
+			RequestDelay: cfg.RequestDelay,
+			Start:        starter,
+		}
+		ic.Run(cfg.SimTime)
+	}
+
+	end := eng.Run(cfg.SimTime)
+	if mon != nil {
+		mon.Finish()
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return nil, fmt.Errorf("core: flushing packet trace: %w", err)
+		}
+	}
+	return &Result{
+		Summary:   met.Summarize(end),
+		Collector: met,
+		Events:    eng.Events(),
+		Telemetry: mon,
+	}, nil
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/transport"
+)
+
+// TestDropBreakdown is a diagnostic: it prints per-reason drop counts for
+// each scheme so shape regressions can be triaged quickly.
+func TestDropBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, policy := range []fabric.Policy{fabric.DIBS, fabric.Vertigo} {
+		for _, proto := range []transport.Protocol{transport.DCTCP, transport.Swift} {
+			res, err := Run(smallConfig(policy, proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Collector
+			t.Logf("%s+%s: overflow=%d deflect-full=%d ttl=%d other=%d defl=%d sent=%d rto=%d fast=%d reorder=%d heldOOO-timeouts=%d",
+				policy, proto,
+				c.Drops[metrics.DropOverflow], c.Drops[metrics.DropDeflectFull],
+				c.Drops[metrics.DropTTL], c.Drops[metrics.DropOther],
+				c.Deflections, c.PacketsSent, c.RTOs, c.FastRetx, c.ReorderPkts, c.OrderTimeout)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package cuckoo implements a bucketized cuckoo filter (Fan et al.,
+// CoNEXT'14): an approximate set membership structure supporting insert,
+// lookup and delete in O(1), used by Vertigo's marking component to detect
+// retransmitted packets (paper §3.1.2, mirroring the DPDK cuckoo filter the
+// authors used).
+//
+// The filter stores short fingerprints in 4-slot buckets; each item has two
+// candidate buckets derived by partial-key cuckoo hashing, so an insertion
+// that finds both buckets full relocates ("kicks") existing fingerprints.
+// Lookups may return false positives at a rate governed by the fingerprint
+// width, but never false negatives for items that were inserted and not
+// deleted.
+package cuckoo
+
+import (
+	"math/rand"
+)
+
+const (
+	slotsPerBucket = 4
+	maxKicks       = 500
+)
+
+// Filter is an approximate membership set over uint64 keys.
+// It is not safe for concurrent use.
+//
+// Hashing is fully deterministic (no per-instance random seed): simulation
+// runs must be reproducible, and a randomly seeded filter would make the
+// rare false positive — and therefore the whole event sequence — differ
+// between identically-configured runs.
+type Filter struct {
+	buckets [][slotsPerBucket]uint16
+	mask    uint64
+	count   int
+	rng     *rand.Rand
+}
+
+// New returns a filter sized for at least capacity items. The filter keeps
+// roughly 95% load factor headroom; inserts may start failing beyond that.
+func New(capacity int) *Filter {
+	if capacity < slotsPerBucket {
+		capacity = slotsPerBucket
+	}
+	n := nextPow2((capacity + slotsPerBucket - 1) / slotsPerBucket * 21 / 20)
+	return &Filter{
+		buckets: make([][slotsPerBucket]uint16, n),
+		mask:    uint64(n - 1),
+		rng:     rand.New(rand.NewSource(int64(n))),
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fingerprint derives a non-zero 16-bit fingerprint and the primary bucket
+// with a splitmix64-style finalizer (deterministic across runs).
+func (f *Filter) fingerprint(key uint64) (fp uint16, i1 uint64) {
+	h := key + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	fp = uint16(h >> 48)
+	if fp == 0 {
+		fp = 1
+	}
+	i1 = h & f.mask
+	return fp, i1
+}
+
+// altIndex computes the partner bucket of (i, fp): i XOR hash(fp).
+func (f *Filter) altIndex(i uint64, fp uint16) uint64 {
+	// Multiplicative scramble of the fingerprint, per the cuckoo filter paper.
+	return (i ^ (uint64(fp) * 0x5bd1e995)) & f.mask
+}
+
+// Insert adds key to the filter. It reports false only when the filter is
+// too full to place the key even after relocation.
+func (f *Filter) Insert(key uint64) bool {
+	fp, i1 := f.fingerprint(key)
+	i2 := f.altIndex(i1, fp)
+	if f.place(i1, fp) || f.place(i2, fp) {
+		f.count++
+		return true
+	}
+	// Kick a random resident fingerprint to its alternate bucket.
+	i := i1
+	if f.rng.Intn(2) == 1 {
+		i = i2
+	}
+	for k := 0; k < maxKicks; k++ {
+		s := f.rng.Intn(slotsPerBucket)
+		fp, f.buckets[i][s] = f.buckets[i][s], fp
+		i = f.altIndex(i, fp)
+		if f.place(i, fp) {
+			f.count++
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Filter) place(i uint64, fp uint16) bool {
+	b := &f.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if b[s] == 0 {
+			b[s] = fp
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Contains(key uint64) bool {
+	fp, i1 := f.fingerprint(key)
+	i2 := f.altIndex(i1, fp)
+	return f.has(i1, fp) || f.has(i2, fp)
+}
+
+func (f *Filter) has(i uint64, fp uint16) bool {
+	b := &f.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if b[s] == fp {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes one copy of key, reporting whether a matching fingerprint
+// was found. Deleting a key that was never inserted may remove a colliding
+// entry, as with any cuckoo filter.
+func (f *Filter) Delete(key uint64) bool {
+	fp, i1 := f.fingerprint(key)
+	if f.remove(i1, fp) {
+		f.count--
+		return true
+	}
+	i2 := f.altIndex(i1, fp)
+	if f.remove(i2, fp) {
+		f.count--
+		return true
+	}
+	return false
+}
+
+func (f *Filter) remove(i uint64, fp uint16) bool {
+	b := &f.buckets[i]
+	for s := 0; s < slotsPerBucket; s++ {
+		if b[s] == fp {
+			b[s] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of items currently stored.
+func (f *Filter) Len() int { return f.count }
+
+// Reset empties the filter in place.
+func (f *Filter) Reset() {
+	for i := range f.buckets {
+		f.buckets[i] = [slotsPerBucket]uint16{}
+	}
+	f.count = 0
+}

@@ -1,0 +1,254 @@
+// Package exp defines the reproduction experiments: one driver per table
+// and figure in the paper's evaluation (§2 and §4). Each driver runs the
+// required simulation sweep and renders the same rows/series the paper
+// reports, at a configurable scale.
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vertigo/internal/core"
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// Scale sizes an experiment run. The paper's full scale (320 hosts, 5 s) is
+// hours of CPU per sweep; the smaller presets preserve the oversubscription
+// ratio and burst-to-buffer ratio so orderings and crossover shapes hold.
+type Scale struct {
+	Name         string
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	FatTreeK     int
+	SimTime      units.Time
+	IncastScale  int // servers per query
+	IncastFlowKB int
+	Seed         int64
+}
+
+// Predefined scales.
+var (
+	// Tiny is for unit tests and testing.B benchmarks.
+	Tiny = Scale{
+		Name: "tiny", Spines: 2, Leaves: 4, HostsPerLeaf: 4, FatTreeK: 4,
+		SimTime: 30 * units.Millisecond, IncastScale: 8, IncastFlowKB: 20, Seed: 1,
+	}
+	// Small is the default for the CLI: minutes per sweep.
+	Small = Scale{
+		Name: "small", Spines: 2, Leaves: 4, HostsPerLeaf: 4, FatTreeK: 4,
+		SimTime: 80 * units.Millisecond, IncastScale: 8, IncastFlowKB: 40, Seed: 1,
+	}
+	// Medium approaches the paper's oversubscription at 64 hosts.
+	Medium = Scale{
+		Name: "medium", Spines: 4, Leaves: 8, HostsPerLeaf: 8, FatTreeK: 6,
+		SimTime: 200 * units.Millisecond, IncastScale: 24, IncastFlowKB: 40, Seed: 1,
+	}
+	// Paper is the paper's full parameterization (320 hosts, 5 s): use for
+	// overnight runs only.
+	Paper = Scale{
+		Name: "paper", Spines: 4, Leaves: 8, HostsPerLeaf: 40, FatTreeK: 8,
+		SimTime: 5 * units.Second, IncastScale: 100, IncastFlowKB: 40, Seed: 1,
+	}
+)
+
+// ScaleByName resolves a scale preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Scale{}, fmt.Errorf("exp: unknown scale %q (tiny|small|medium|paper)", name)
+}
+
+// Hosts returns the host count of the leaf-spine variant of the scale.
+func (sc Scale) Hosts() int { return sc.Leaves * sc.HostsPerLeaf }
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig5"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case units.Time:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteCSV renders the table as CSV (columns header plus rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Progress, when non-nil, receives one line per completed simulation run.
+var Progress func(format string, args ...any)
+
+func progress(format string, args ...any) {
+	if Progress != nil {
+		Progress(format, args...)
+	}
+}
+
+// Experiment is a named table/figure driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(sc Scale) ([]*Table, error)
+}
+
+// registry holds all experiments, keyed by ID.
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) { registry[e.ID] = e }
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (*Experiment, error) {
+	if e, ok := registry[id]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (try: %s)", id, strings.Join(IDs(), " "))
+}
+
+// IDs lists all experiment IDs in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// baseConfig builds the scenario shared by most experiments: the scale's
+// leaf-spine fabric, the given scheme/transport, and the scale's incast
+// parameters.
+func baseConfig(sc Scale, policy fabric.Policy, proto transport.Protocol) core.Config {
+	cfg := core.DefaultConfig(policy, proto)
+	cfg.Seed = sc.Seed
+	cfg.SimTime = sc.SimTime
+	cfg.Kind = core.LeafSpine
+	cfg.LeafSpineCfg = topo.LeafSpineConfig{
+		Spines:       sc.Spines,
+		Leaves:       sc.Leaves,
+		HostsPerLeaf: sc.HostsPerLeaf,
+		HostRate:     10 * units.Gbps,
+		FabricRate:   40 * units.Gbps,
+		LinkDelay:    500 * units.Nanosecond,
+	}
+	cfg.IncastScale = sc.IncastScale
+	cfg.IncastFlowSize = int64(sc.IncastFlowKB) * 1000
+	return cfg
+}
+
+// fatTreeConfig is baseConfig on the scale's fat-tree.
+func fatTreeConfig(sc Scale, policy fabric.Policy, proto transport.Protocol) core.Config {
+	cfg := baseConfig(sc, policy, proto)
+	cfg.Kind = core.FatTree
+	cfg.FatTreeCfg = topo.FatTreeConfig{
+		K:         sc.FatTreeK,
+		Rate:      10 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	}
+	return cfg
+}
+
+// withLoads sets background load and tops up with incast to reach total.
+func withLoads(cfg core.Config, bg, total float64) core.Config {
+	cfg.BGLoad = bg
+	if total > bg {
+		cfg.SetIncastLoad(total - bg)
+	} else {
+		cfg.IncastQPS = 0
+	}
+	return cfg
+}
+
+// run executes one scenario, reporting progress.
+func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("exp: %s: %w", label, err)
+	}
+	progress("%-40s q=%4d/%4d QCT=%-10v FCT=%-10v drops=%d",
+		label, res.Summary.QueriesCompleted, res.Summary.QueriesStarted,
+		res.Summary.MeanQCT, res.Summary.MeanFCT, res.Summary.Drops)
+	return res.Summary, res.Collector, nil
+}
+
+// pct renders a percentage cell.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// schemeName renders the "system" cell used across tables.
+func schemeName(p fabric.Policy, t transport.Protocol) string {
+	return p.String() + "+" + t.String()
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/transport"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must have a driver.
+	want := []string{
+		"fig1", "sec2", "fig5", "fig6", "fig7", "table2",
+		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table3", "fig13",
+		"defset", "failover", "nonbursty",
+	}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %q not registered: %v", id, err)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "medium", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, sc, err)
+		}
+		if sc.Hosts() <= 0 || sc.SimTime <= 0 {
+			t.Errorf("scale %q not runnable: %+v", name, sc)
+		}
+	}
+	if _, err := ScaleByName("galactic"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if sc, err := ScaleByName(""); err != nil || sc.Name != "small" {
+		t.Error("empty scale should default to small")
+	}
+}
+
+func TestPaperScaleMatchesPaper(t *testing.T) {
+	if Paper.Hosts() != 320 || Paper.IncastScale != 100 || Paper.IncastFlowKB != 40 {
+		t.Errorf("paper scale drifted from the paper: %+v", Paper)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "longcolumn"},
+		Notes:   []string{"hello"},
+	}
+	tab.Add("v1", 3.14159)
+	tab.Add("value-wider-than-column", 2)
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: demo ==", "longcolumn", "3.14", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaseConfigRespectsScale(t *testing.T) {
+	cfg := baseConfig(Tiny, fabric.Vertigo, transport.DCTCP)
+	if cfg.NumHosts() != Tiny.Hosts() {
+		t.Errorf("hosts %d, want %d", cfg.NumHosts(), Tiny.Hosts())
+	}
+	if cfg.IncastScale != Tiny.IncastScale {
+		t.Errorf("incast scale %d, want %d", cfg.IncastScale, Tiny.IncastScale)
+	}
+	ft := fatTreeConfig(Tiny, fabric.Vertigo, transport.DCTCP)
+	if ft.Kind.String() != "fattree" {
+		t.Error("fatTreeConfig did not switch topology")
+	}
+}
+
+func TestWithLoads(t *testing.T) {
+	cfg := baseConfig(Tiny, fabric.ECMP, transport.DCTCP)
+	cfg = withLoads(cfg, 0.25, 0.60)
+	if cfg.BGLoad != 0.25 {
+		t.Errorf("bg load %v", cfg.BGLoad)
+	}
+	ic := cfg.IncastQPS * float64(cfg.IncastScale) * float64(cfg.IncastFlowSize) * 8 /
+		(10e9 * float64(cfg.NumHosts()))
+	if ic < 0.34 || ic > 0.36 {
+		t.Errorf("incast load %.3f, want 0.35", ic)
+	}
+	cfg = withLoads(cfg, 0.5, 0.5)
+	if cfg.IncastQPS != 0 {
+		t.Error("total==bg should disable incast")
+	}
+}
+
+func TestExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables, want 1", len(tables))
+	}
+	if got := len(tables[0].Rows); got != 6 {
+		t.Fatalf("%d rows, want 6 (3 schemes x 2 transports)", got)
+	}
+	var sb strings.Builder
+	tables[0].Fprint(&sb)
+	t.Log("\n" + sb.String())
+}

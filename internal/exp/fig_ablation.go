@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/host"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11a",
+		Title: "Component ablation: deflection, SRPT scheduling, ordering",
+		Run:   runFig11a,
+	})
+	register(&Experiment{
+		ID:    "fig11b",
+		Title: "Retransmission boosting: off / 2x / 4x / 8x",
+		Run:   runFig11b,
+	})
+	register(&Experiment{
+		ID:    "fig12",
+		Title: "Random vs power-of-two choices for forwarding and deflection",
+		Run:   runFig12,
+	})
+	register(&Experiment{
+		ID:    "table3",
+		Title: "SRPT vs LAS (flow aging) marking vs baselines",
+		Run:   runTable3,
+	})
+	register(&Experiment{
+		ID:    "fig13",
+		Title: "Ordering timeout sweep (τ = 120µs → 1.08ms)",
+		Run:   runFig13,
+	})
+	register(&Experiment{
+		ID:    "defset",
+		Title: "Extra ablation: per-packet deflection budget",
+		Run:   runDefSet,
+	})
+}
+
+// runFig11a reproduces Figure 11a: Vertigo with each component disabled.
+func runFig11a(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "fig11a",
+		Title:   "Vertigo component ablation (DCTCP)",
+		Columns: []string{"variant", "load", "mean_QCT", "mean_FCT", "drop_rate", "query_compl"},
+		Notes: []string{
+			"paper Fig. 11a: no-scheduling degrades Vertigo to random deflection;",
+			"no-deflection multiplies drops; no-ordering costs FCT/goodput, not QCT",
+		},
+	}
+	type variant struct {
+		label                 string
+		sched, deflect, order bool
+	}
+	for _, v := range []variant{
+		{"vertigo", true, true, true},
+		{"no-deflection", true, false, true},
+		{"no-scheduling", false, true, true},
+		{"no-ordering", true, true, false},
+	} {
+		for _, load := range []float64{0.45, 0.70, 0.90} {
+			cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, load)
+			cfg.Fabric.Scheduling = v.sched
+			cfg.Fabric.Deflection = v.deflect
+			if !v.order {
+				cfg.Orderer.Timeout = 1 // flush immediately: ordering disabled
+			}
+			s, _, err := run("fig11a/"+v.label+"/"+pct(load*100), cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(v.label, pct(load*100), s.MeanQCT, s.MeanFCT,
+				pct(100*s.DropRate), pct(s.QueryCompletionP))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig11b reproduces Figure 11b: boosting factors at two background loads.
+func runFig11b(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "fig11b",
+		Title:   "Retransmission boosting (Vertigo + DCTCP)",
+		Columns: []string{"boosting", "bg_load", "query_compl", "mean_QCT", "retransmits"},
+		Notes: []string{
+			"paper Fig. 11b: boosting is essential; factors above 2x add little",
+		},
+	}
+	type variant struct {
+		label    string
+		boosting bool
+		log2     uint
+	}
+	for _, v := range []variant{
+		{"off", false, 1},
+		{"2x", true, 1},
+		{"4x", true, 2},
+		{"8x", true, 3},
+	} {
+		for _, bg := range []float64{0.25, 0.75} {
+			cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), bg, bg+0.20)
+			cfg.Marker.Boosting = v.boosting
+			cfg.Marker.BoostFactorLog2 = v.log2
+			s, _, err := run("fig11b/"+v.label+"/bg="+pct(bg*100), cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(v.label, pct(bg*100), pct(s.QueryCompletionP), s.MeanQCT, s.Retransmits)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig12 reproduces Figure 12: the four forwarding/deflection choice
+// combinations on both topologies.
+func runFig12(sc Scale) ([]*Table, error) {
+	var tables []*Table
+	for _, ft := range []bool{false, true} {
+		name := "two-tier leaf-spine"
+		if ft {
+			name = fmt.Sprintf("fat-tree k=%d", sc.FatTreeK)
+		}
+		t := &Table{
+			ID:      "fig12",
+			Title:   "Random vs power-of-two choices, " + name,
+			Columns: []string{"variant", "load", "mean_QCT", "drop_rate"},
+			Notes: []string{
+				"paper Fig. 12: ^2 deflection cuts drops/QCT at low-mid load; gap fades at high load",
+			},
+		}
+		type variant struct {
+			label    string
+			fw, defl int
+		}
+		for _, v := range []variant{
+			{"^1FW ^1DEF", 1, 1},
+			{"^1FW ^2DEF", 1, 2},
+			{"^2FW ^1DEF", 2, 1},
+			{"vertigo (^2FW ^2DEF)", 2, 2},
+		} {
+			for _, load := range []float64{0.35, 0.55, 0.75, 0.95} {
+				var cfg = baseConfig(sc, fabric.Vertigo, transport.DCTCP)
+				if ft {
+					cfg = fatTreeConfig(sc, fabric.Vertigo, transport.DCTCP)
+				}
+				cfg = withLoads(cfg, 0.25, load)
+				cfg.Fabric.FwdChoices = v.fw
+				cfg.Fabric.DeflChoices = v.defl
+				s, _, err := run(fmt.Sprintf("fig12/%s/%s/%s", name, v.label, pct(load*100)), cfg)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(v.label, pct(load*100), s.MeanQCT, pct(100*s.DropRate))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// runTable3 reproduces Table 3: SRPT vs LAS marking against baselines.
+func runTable3(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Mean FCT: flow aging (LAS) vs SRPT vs baselines",
+		Columns: []string{"load", "dctcp+ecmp", "dctcp+dibs", "vertigo SRPT", "vertigo LAS"},
+		Notes: []string{
+			"paper Table 3: LAS trails SRPT but still beats ECMP and DIBS",
+		},
+	}
+	for _, load := range []float64{0.55, 0.75, 0.95} {
+		row := []any{pct(load * 100)}
+		for _, col := range []struct {
+			policy fabric.Policy
+			las    bool
+		}{
+			{fabric.ECMP, false},
+			{fabric.DIBS, false},
+			{fabric.Vertigo, false},
+			{fabric.Vertigo, true},
+		} {
+			cfg := withLoads(baseConfig(sc, col.policy, transport.DCTCP), 0.25, load)
+			if col.las {
+				cfg.Marker.Discipline = host.LAS
+			}
+			label := fmt.Sprintf("table3/%s(las=%v)/%s", col.policy, col.las, pct(load*100))
+			s, _, err := run(label, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, s.MeanFCT)
+		}
+		t.Add(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// runFig13 reproduces Figure 13: ordering timeout sweep.
+func runFig13(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Ordering timeout τ sweep (Vertigo + DCTCP, incast)",
+		Columns: []string{"tau", "mean_FCT", "p99_FCT", "mean_QCT", "reordered"},
+		Notes: []string{
+			"paper Fig. 13: τ has a bounded effect on completion times",
+		},
+	}
+	for _, tau := range []units.Time{
+		120 * units.Microsecond, 360 * units.Microsecond,
+		720 * units.Microsecond, 1080 * units.Microsecond,
+	} {
+		cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, 0.75)
+		cfg.Orderer.Timeout = tau
+		s, _, err := run(fmt.Sprintf("fig13/tau=%v", tau), cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(tau, s.MeanFCT, s.P99FCT, s.MeanQCT, s.ReorderPkts)
+	}
+	return []*Table{t}, nil
+}
+
+// runDefSet is an extra ablation beyond the paper: the per-packet deflection
+// budget that converts starvation into boosted retransmission.
+func runDefSet(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "defset",
+		Title:   "Deflection budget ablation (Vertigo + DCTCP, 75% load)",
+		Columns: []string{"budget", "mean_QCT", "query_compl", "drop_rate", "deflections"},
+	}
+	for _, budget := range []int{1, 4, 8, 16, -1} {
+		cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, 0.75)
+		cfg.Fabric.MaxDeflections = budget
+		label := fmt.Sprintf("defset/budget=%d", budget)
+		s, _, err := run(label, cfg)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprint(budget)
+		if budget < 0 {
+			name = "unlimited"
+		}
+		t.Add(name, s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate), s.Deflections)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"vertigo/internal/metrics"
+	"vertigo/internal/units"
+)
+
+// pTime returns the p-th percentile of a summary's query completion times.
+func pTime(s *metrics.Summary, p float64) units.Time {
+	return metrics.Percentile(s.QCTs, p)
+}
+
+// pFCT returns the p-th percentile of a summary's flow completion times.
+func pFCT(s *metrics.Summary, p float64) units.Time {
+	return metrics.Percentile(s.FCTs, p)
+}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelExperimentsRace runs two experiments concurrently (as
+// `vertigo-exp -parallel` does) under the race detector: simulations must
+// share no mutable state.
+func TestParallelExperimentsRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var wg sync.WaitGroup
+	for _, id := range []string{"fig13", "defset"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Run(Tiny); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"testing"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/units"
+)
+
+// benchFabric measures raw dataplane throughput: wall time per simulated
+// packet pushed through a 3-hop leaf-spine path, per policy. This is the
+// substrate cost that bounds how much simulated traffic a core-second buys.
+func benchFabric(b *testing.B, policy Policy) {
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := New(eng, tp, met, DefaultConfig(policy))
+	delivered := 0
+	for h := 0; h < tp.NumHosts; h++ {
+		net.RegisterHost(h, recvFunc(func(p *packet.Packet) { delivered++ }))
+	}
+	var ids packet.IDGen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(&packet.Packet{
+			ID: ids.Next(), Kind: packet.Data,
+			Src: i % 2, Dst: 2 + i%2, Flow: uint64(i % 8),
+			PayloadLen: packet.MSS, Marked: policy == Vertigo,
+			Info: packet.FlowInfo{RFS: uint32(i%1000 + 1)},
+		})
+		// Drain periodically so queues stay at realistic depth.
+		if i%64 == 63 {
+			eng.Run(eng.Now() + 100*units.Microsecond)
+		}
+	}
+	eng.Run(eng.Now() + units.Second)
+	b.StopTimer()
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+func BenchmarkFabricECMP(b *testing.B)    { benchFabric(b, ECMP) }
+func BenchmarkFabricDRILL(b *testing.B)   { benchFabric(b, DRILL) }
+func BenchmarkFabricDIBS(b *testing.B)    { benchFabric(b, DIBS) }
+func BenchmarkFabricVertigo(b *testing.B) { benchFabric(b, Vertigo) }

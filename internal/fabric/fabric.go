@@ -1,0 +1,440 @@
+// Package fabric is the switching substrate: output-queued switches wired
+// together by store-and-forward links, plus the four forwarding policies the
+// paper evaluates — ECMP, DRILL micro load balancing, DIBS random deflection,
+// and Vertigo selective deflection with SRPT-sorted queues.
+package fabric
+
+import (
+	"fmt"
+
+	"vertigo/internal/buffer"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/units"
+)
+
+// Policy selects a forwarding scheme.
+type Policy int
+
+// Forwarding policies.
+const (
+	ECMP Policy = iota
+	DRILL
+	DIBS
+	Vertigo
+)
+
+func (p Policy) String() string {
+	switch p {
+	case ECMP:
+		return "ecmp"
+	case DRILL:
+		return "drill"
+	case DIBS:
+		return "dibs"
+	case Vertigo:
+		return "vertigo"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "ecmp":
+		return ECMP, nil
+	case "drill":
+		return DRILL, nil
+	case "dibs":
+		return DIBS, nil
+	case "vertigo":
+		return Vertigo, nil
+	}
+	return 0, fmt.Errorf("fabric: unknown policy %q", s)
+}
+
+// Config parameterizes the fabric. Defaults mirror the paper's Table 1 and
+// §4.1 settings.
+type Config struct {
+	Policy Policy
+
+	// BufferBytes is the per-port buffer capacity (paper: 300 KB).
+	BufferBytes units.ByteSize
+	// ECNThreshold marks CE when a queue holds at least this many packets at
+	// enqueue time (DCTCP K; paper default 65). Zero disables marking.
+	ECNThreshold int
+	// MaxHops drops packets that traverse more switch hops (a TTL), bounding
+	// deflection loops. Zero selects the default of 64.
+	MaxHops int
+	// MaxDeflections drops a packet once it has been deflected this many
+	// times. For Vertigo, repeated eviction of the same large-RFS packet
+	// means it keeps losing rank comparisons; dropping it promptly hands
+	// recovery to the sender, whose retransmission is boosted past the
+	// contention (paper §3.1.2). DIBS instead absorbs bursts by letting
+	// packets circulate until the hot port drains, bounded only by MaxHops.
+	// Zero selects the policy default (8 for Vertigo, unlimited otherwise);
+	// negative means unlimited.
+	MaxDeflections int
+
+	// Jitter is the maximum uniform per-packet processing jitter added to
+	// each transmission. Zero-jitter discrete simulation phase-locks
+	// same-rate senders (one wins every queue slot of a full buffer, the
+	// other loses its whole window), which real forwarding pipelines do not;
+	// a sub-serialization-time jitter breaks the lock without changing
+	// rates. Negative disables; zero selects the 100 ns default.
+	Jitter units.Time
+	// FwdChoices is Vertigo's power-of-n for forwarding (paper default 2;
+	// 1 = purely random, Fig. 12's "1FW").
+	FwdChoices int
+	// DeflChoices is Vertigo's power-of-n for deflection (paper default 2;
+	// 1 = purely random, Fig. 12's "1DEF").
+	DeflChoices int
+	// Scheduling enables SRPT-sorted output queues (Fig. 11a ablation).
+	Scheduling bool
+	// Deflection enables deflection on overflow (Fig. 11a ablation).
+	Deflection bool
+}
+
+// DefaultConfig returns the paper's default fabric settings for a policy.
+func DefaultConfig(p Policy) Config {
+	cfg := Config{
+		Policy:       p,
+		BufferBytes:  300 * units.KB,
+		ECNThreshold: 65,
+		MaxHops:      64,
+		Jitter:       100 * units.Nanosecond,
+		FwdChoices:   2,
+		DeflChoices:  2,
+		Scheduling:   true,
+		Deflection:   true,
+	}
+	if p == Vertigo {
+		cfg.MaxDeflections = 8
+	}
+	return cfg
+}
+
+// Receiver consumes packets delivered to a host NIC.
+type Receiver interface {
+	Receive(p *packet.Packet)
+}
+
+// Observer receives dataplane events for telemetry (§5: utilization, queue
+// occupancy, deflections and drops are what lets monitoring distinguish
+// microbursts from persistent congestion once deflection hides drops).
+// Switch -1 denotes a host NIC port. All methods are called synchronously
+// on the simulator thread.
+type Observer interface {
+	// Enqueue fires after a packet is queued; occ is the queue occupancy
+	// including the packet.
+	Enqueue(sw, port int, p *packet.Packet, occ units.ByteSize)
+	// Transmit fires when a packet starts serializing; busy is the
+	// serialization time and occ the occupancy after dequeue.
+	Transmit(sw, port int, p *packet.Packet, busy units.Time, occ units.ByteSize)
+	// Deflect fires when a packet is detoured away from its preferred port.
+	Deflect(sw, fromPort, toPort int, p *packet.Packet)
+	// Drop fires when the fabric discards a packet.
+	Drop(sw, port int, p *packet.Packet, reason metrics.DropReason)
+	// Deliver fires when a packet reaches its destination host.
+	Deliver(host int, p *packet.Packet)
+}
+
+// Network instantiates a topology: one Switch per topology switch, one
+// egress Port per switch port, and one NIC egress Port per host.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Topology
+	Met  *metrics.Collector
+	Cfg  Config
+
+	switches []*Switch
+	hostNIC  []*Port    // host egress toward its ToR
+	hostRecv []Receiver // host ingress handlers
+	obs      Observer   // optional telemetry observer
+}
+
+// SetObserver installs a telemetry observer (nil to disable).
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// New builds the runtime network for t.
+func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) *Network {
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = 64
+	}
+	switch {
+	case cfg.MaxDeflections < 0:
+		cfg.MaxDeflections = int(^uint(0) >> 1) // unlimited
+	case cfg.MaxDeflections == 0:
+		if cfg.Policy == Vertigo {
+			cfg.MaxDeflections = 8
+		} else {
+			cfg.MaxDeflections = int(^uint(0) >> 1)
+		}
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 100 * units.Nanosecond
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.FwdChoices <= 0 {
+		cfg.FwdChoices = 2
+	}
+	if cfg.DeflChoices <= 0 {
+		cfg.DeflChoices = 2
+	}
+	n := &Network{
+		Eng:      eng,
+		Topo:     t,
+		Met:      met,
+		Cfg:      cfg,
+		hostRecv: make([]Receiver, t.NumHosts),
+	}
+
+	n.switches = make([]*Switch, t.NumSwitches)
+	for sw := 0; sw < t.NumSwitches; sw++ {
+		n.switches[sw] = newSwitch(n, sw)
+	}
+	// Wire switch port delivery functions.
+	for sw := 0; sw < t.NumSwitches; sw++ {
+		s := n.switches[sw]
+		for p := range s.ports {
+			peer := t.PortPeer[sw][p]
+			link := t.Links[t.PortLink[sw][p]]
+			port := s.ports[p]
+			port.rate = link.Rate
+			port.delay = link.Delay
+			if peer.Host {
+				h := peer.Node
+				port.deliver = func(pkt *packet.Packet) { n.deliverToHost(h, pkt) }
+			} else {
+				dst := n.switches[peer.Node]
+				port.deliver = dst.Receive
+			}
+		}
+	}
+	// Host NICs: effectively unbounded egress FIFO; transports self-limit.
+	n.hostNIC = make([]*Port, t.NumHosts)
+	for h := 0; h < t.NumHosts; h++ {
+		link := t.Links[t.HostLink[h]]
+		tor := n.switches[t.HostToR[h]]
+		n.hostNIC[h] = &Port{
+			net:     n,
+			sw:      -1,
+			idx:     h,
+			q:       buffer.NewDropTail(1 << 30),
+			rate:    link.Rate,
+			delay:   link.Delay,
+			deliver: tor.Receive,
+		}
+	}
+	return n
+}
+
+// RegisterHost installs the receive handler for host h.
+func (n *Network) RegisterHost(h int, r Receiver) { n.hostRecv[h] = r }
+
+// Send injects a packet from its source host's NIC.
+func (n *Network) Send(p *packet.Packet) {
+	nic := n.hostNIC[p.Src]
+	nic.q.Push(p)
+	if n.obs != nil {
+		n.obs.Enqueue(nic.sw, nic.idx, p, nic.q.Bytes())
+	}
+	nic.maybeSend()
+}
+
+// Switch returns the runtime switch with the given ID (for tests and
+// instrumentation).
+func (n *Network) Switch(id int) *Switch { return n.switches[id] }
+
+// FailLinkAt schedules both directions of topology link li to fail at time
+// at. There is no routing reconvergence: FIBs keep pointing at the dead
+// link, modelling the window between carrier loss and control-plane repair
+// during which only in-dataplane reactions (deflection) can rescue traffic.
+// Switches see carrier loss instantly, so the forwarding policies treat a
+// dead port exactly like a full queue.
+func (n *Network) FailLinkAt(li int, at units.Time) error {
+	if li < 0 || li >= len(n.Topo.Links) {
+		return fmt.Errorf("fabric: link %d out of range", li)
+	}
+	var ports []*Port
+	l := n.Topo.Links[li]
+	add := func(e topo.Endpoint) {
+		if e.Host {
+			ports = append(ports, n.hostNIC[e.Node])
+		} else {
+			ports = append(ports, n.switches[e.Node].ports[e.Port])
+		}
+	}
+	add(l.A)
+	add(l.B)
+	n.Eng.At(at, func() {
+		for _, pt := range ports {
+			pt.down = true
+			pt.maybeSend() // flush the queue into the void
+		}
+	})
+	return nil
+}
+
+func (n *Network) deliverToHost(h int, p *packet.Packet) {
+	if h != p.Dst {
+		// A deflected packet can only reach a foreign host if it was
+		// deflected into a host-facing port, which the policies avoid; a
+		// misdelivery here is a routing bug, not a simulation outcome.
+		panic(fmt.Sprintf("fabric: packet for host %d delivered to host %d", p.Dst, h))
+	}
+	if n.obs != nil {
+		n.obs.Deliver(h, p)
+	}
+	if r := n.hostRecv[h]; r != nil {
+		r.Receive(p)
+	}
+}
+
+func (n *Network) drop(sw, port int, p *packet.Packet, reason metrics.DropReason) {
+	if p.Kind == packet.Data {
+		cls := metrics.Background
+		if p.Incast {
+			cls = metrics.Incast
+		}
+		n.Met.Drop(reason, cls)
+	}
+	if n.obs != nil {
+		n.obs.Drop(sw, port, p, reason)
+	}
+}
+
+// Port is one egress queue with an attached link. Transmission is
+// store-and-forward: a popped packet occupies the link for its
+// serialization time, then arrives at the peer after the propagation delay.
+type Port struct {
+	net     *Network
+	sw, idx int // switch ID and port index (-1/hostID for host NICs)
+	q       buffer.Queue
+	rate    units.BitRate
+	delay   units.Time
+	busy    bool
+	down    bool // link failed: no carrier
+	deliver func(*packet.Packet)
+}
+
+// Queue exposes the port's queue (used by policies and tests).
+func (pt *Port) Queue() buffer.Queue { return pt.q }
+
+// Down reports whether the port's link has failed.
+func (pt *Port) Down() bool { return pt.down }
+
+func (pt *Port) maybeSend() {
+	if pt.busy {
+		return
+	}
+	if pt.down {
+		// No carrier: anything queued is lost, as on a real unplugged cable.
+		for p := pt.q.Pop(); p != nil; p = pt.q.Pop() {
+			pt.net.drop(pt.sw, pt.idx, p, metrics.DropLinkDown)
+		}
+		return
+	}
+	p := pt.q.Pop()
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	tx := pt.rate.TxTime(p.Size())
+	eng := pt.net.Eng
+	if j := pt.net.Cfg.Jitter; j > 0 {
+		tx += units.Time(eng.Rand().Int63n(int64(j) + 1))
+	}
+	if o := pt.net.obs; o != nil {
+		o.Transmit(pt.sw, pt.idx, p, tx, pt.q.Bytes())
+	}
+	eng.After(tx, func() {
+		pt.busy = false
+		pt.maybeSend()
+	})
+	eng.After(tx+pt.delay, func() { pt.deliver(p) })
+}
+
+// Switch is an output-queued switch running one forwarding policy.
+type Switch struct {
+	net   *Network
+	id    int
+	ports []*Port
+
+	// DRILL memory: per candidate-group, the least-loaded port last seen.
+	drillMem map[uint64]int
+}
+
+func newSwitch(n *Network, id int) *Switch {
+	s := &Switch{net: n, id: id, drillMem: make(map[uint64]int)}
+	nports := n.Topo.Ports(id)
+	s.ports = make([]*Port, nports)
+	for p := 0; p < nports; p++ {
+		var q buffer.Queue
+		if n.Cfg.Policy == Vertigo && n.Cfg.Scheduling {
+			q = buffer.NewSorted(n.Cfg.BufferBytes)
+		} else {
+			q = buffer.NewDropTail(n.Cfg.BufferBytes)
+		}
+		s.ports[p] = &Port{net: n, sw: id, idx: p, q: q}
+	}
+	return s
+}
+
+// ID returns the switch's topology ID.
+func (s *Switch) ID() int { return s.id }
+
+// Port returns the egress port with the given index.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Receive processes an arriving packet: TTL check, route, enqueue.
+func (s *Switch) Receive(p *packet.Packet) {
+	p.Hops++
+	if p.Hops > s.net.Cfg.MaxHops {
+		s.net.drop(s.id, -1, p, metrics.DropTTL)
+		return
+	}
+	switch s.net.Cfg.Policy {
+	case ECMP:
+		s.routeECMP(p)
+	case DRILL:
+		s.routeDRILL(p)
+	case DIBS:
+		s.routeDIBS(p)
+	case Vertigo:
+		s.routeVertigo(p)
+	}
+}
+
+// enqueue pushes p on port i with ECN marking; reports success. A port
+// whose link is down behaves like a full queue, so deflection-capable
+// policies route around failures in place.
+func (s *Switch) enqueue(i int, p *packet.Packet) bool {
+	port := s.ports[i]
+	if port.down || !port.q.Push(p) {
+		return false
+	}
+	s.markECN(port, p)
+	if o := s.net.obs; o != nil {
+		o.Enqueue(s.id, i, p, port.q.Bytes())
+	}
+	port.maybeSend()
+	return true
+}
+
+func (s *Switch) markECN(port *Port, p *packet.Packet) {
+	k := s.net.Cfg.ECNThreshold
+	if k > 0 && p.ECNCapable && port.q.Len() >= k {
+		p.CE = true
+		s.net.Met.ECNMarks++
+	}
+}
+
+// candidates returns the FIB next-hop ports for p's destination.
+func (s *Switch) candidates(p *packet.Packet) []int {
+	return s.net.Topo.FIB[s.id][p.Dst]
+}

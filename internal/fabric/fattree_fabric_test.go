@@ -1,0 +1,116 @@
+package fabric
+
+import (
+	"testing"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/units"
+)
+
+// fatTreeNet builds a k=4 fat-tree fabric with capture receivers.
+func fatTreeNet(t *testing.T, cfg Config) (*sim.Engine, *Network, *metrics.Collector, [][]*packet.Packet) {
+	t.Helper()
+	tp, err := topo.NewFatTree(topo.FatTreeConfig{
+		K: 4, Rate: 10 * units.Gbps, LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := New(eng, tp, met, cfg)
+	got := make([][]*packet.Packet, tp.NumHosts)
+	for h := 0; h < tp.NumHosts; h++ {
+		h := h
+		net.RegisterHost(h, recvFunc(func(p *packet.Packet) { got[h] = append(got[h], p) }))
+	}
+	return eng, net, met, got
+}
+
+func TestFatTreeDeliveryAllPairs(t *testing.T) {
+	for _, policy := range []Policy{ECMP, DRILL, DIBS, Vertigo} {
+		eng, net, met, got := fatTreeNet(t, DefaultConfig(policy))
+		var ids packet.IDGen
+		sent := 0
+		for src := 0; src < 16; src++ {
+			for dst := 0; dst < 16; dst++ {
+				if src == dst {
+					continue
+				}
+				net.Send(dataPkt(&ids, src, dst, uint64(src*16+dst), 1000))
+				sent++
+			}
+		}
+		eng.Run(units.Second)
+		total := 0
+		for _, g := range got {
+			total += len(g)
+		}
+		if total != sent || met.TotalDrops() != 0 {
+			t.Fatalf("%v: delivered %d of %d, drops %d", policy, total, sent, met.TotalDrops())
+		}
+	}
+}
+
+func TestFatTreeHopCounts(t *testing.T) {
+	eng, net, _, got := fatTreeNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	net.Send(dataPkt(&ids, 0, 1, 1, 10))  // same edge: 1 switch hop
+	net.Send(dataPkt(&ids, 0, 2, 2, 10))  // same pod: 3 hops
+	net.Send(dataPkt(&ids, 0, 15, 3, 10)) // cross-pod: 5 hops
+	eng.Run(units.Second)
+	if got[1][0].Hops != 1 || got[2][0].Hops != 3 || got[15][0].Hops != 5 {
+		t.Fatalf("hops = %d/%d/%d, want 1/3/5",
+			got[1][0].Hops, got[2][0].Hops, got[15][0].Hops)
+	}
+}
+
+func TestJitterPreservesDeterminism(t *testing.T) {
+	run := func() (uint64, int) {
+		eng, net, _, got := fatTreeNet(t, DefaultConfig(Vertigo))
+		var ids packet.IDGen
+		for i := 0; i < 200; i++ {
+			net.Send(dataPkt(&ids, i%8, 8+(i%8), uint64(i), uint32(1000+i)))
+		}
+		eng.Run(units.Second)
+		total := 0
+		for _, g := range got {
+			total += len(g)
+		}
+		return eng.Events(), total
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("jittered runs diverged: %d/%d vs %d/%d", e1, t1, e2, t2)
+	}
+}
+
+func TestJitterDisabledExactTiming(t *testing.T) {
+	cfg := DefaultConfig(ECMP)
+	cfg.Jitter = -1 // explicit off: store-and-forward timing is exact
+	tp, err := topo.NewFatTree(topo.FatTreeConfig{
+		K: 4, Rate: 10 * units.Gbps, LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := New(eng, tp, met, cfg)
+	var arrived units.Time
+	net.RegisterHost(1, recvFunc(func(p *packet.Packet) { arrived = eng.Now() }))
+	var ids packet.IDGen
+	p := dataPkt(&ids, 0, 1, 1, 10)
+	p.Marked = false // exactly 1500 wire bytes
+	net.Send(p)
+	eng.Run(units.Second)
+	// Same-edge path: NIC serialize (1500B @ 10G = 1200ns) + 500ns prop +
+	// edge serialize 1200ns + 500ns prop = 3400ns exactly.
+	if want := units.Time(3400); arrived != want {
+		t.Fatalf("arrival at %v, want exactly %v with jitter off", arrived, want)
+	}
+}

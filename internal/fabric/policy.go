@@ -1,0 +1,251 @@
+package fabric
+
+import (
+	"vertigo/internal/buffer"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+)
+
+// mix64 is a splitmix64 finalizer, used for flow hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// routeECMP picks the next hop by flow hash (salted per switch so different
+// switches spread the same flow set differently) and tail-drops on overflow.
+func (s *Switch) routeECMP(p *packet.Packet) {
+	cands := s.candidates(p)
+	if len(cands) == 0 {
+		s.net.drop(s.id, -1, p, metrics.DropOther)
+		return
+	}
+	i := cands[0]
+	if len(cands) > 1 {
+		h := mix64(p.Flow ^ (uint64(s.id)+1)*0x9e3779b97f4a7c15)
+		i = cands[h%uint64(len(cands))]
+	}
+	if !s.enqueue(i, p) {
+		s.net.drop(s.id, i, p, metrics.DropOverflow)
+	}
+}
+
+// routeDRILL implements DRILL(d=2, m=1): per packet, sample two random
+// candidate ports plus the remembered least-loaded port, and enqueue on the
+// emptiest. Tail-drops on overflow.
+func (s *Switch) routeDRILL(p *packet.Packet) {
+	cands := s.candidates(p)
+	if len(cands) == 0 {
+		s.net.drop(s.id, -1, p, metrics.DropOther)
+		return
+	}
+	best := -1
+	consider := func(i int) {
+		if best == -1 || s.ports[i].q.Bytes() < s.ports[best].q.Bytes() {
+			best = i
+		}
+	}
+	if len(cands) == 1 {
+		best = cands[0]
+	} else {
+		rng := s.net.Eng.Rand()
+		consider(cands[rng.Intn(len(cands))])
+		consider(cands[rng.Intn(len(cands))])
+		key := drillKey(cands)
+		if mem, ok := s.drillMem[key]; ok {
+			consider(mem)
+		}
+		s.drillMem[key] = best
+	}
+	if !s.enqueue(best, p) {
+		s.net.drop(s.id, best, p, metrics.DropOverflow)
+	}
+}
+
+// drillKey identifies a candidate group. FIB candidate slices are shared per
+// destination-group, so the first element plus length is a stable identity.
+func drillKey(cands []int) uint64 {
+	return uint64(cands[0])<<32 | uint64(len(cands))
+}
+
+// routeDIBS forwards like ECMP but, when the chosen output queue is full,
+// detours the arriving packet to a random port with buffer space (Zarifis et
+// al., EuroSys'14). Only when no port has space is the packet dropped.
+func (s *Switch) routeDIBS(p *packet.Packet) {
+	cands := s.candidates(p)
+	if len(cands) == 0 {
+		s.net.drop(s.id, -1, p, metrics.DropOther)
+		return
+	}
+	i := cands[0]
+	if len(cands) > 1 {
+		h := mix64(p.Flow ^ (uint64(s.id)+1)*0x9e3779b97f4a7c15)
+		i = cands[h%uint64(len(cands))]
+	}
+	if s.enqueue(i, p) {
+		return
+	}
+	// Deflect: scan the deflection set in random order for space.
+	if p.Deflections >= s.net.Cfg.MaxDeflections {
+		s.net.drop(s.id, i, p, metrics.DropOverflow)
+		return
+	}
+	set := s.deflectionSet(p, i)
+	rng := s.net.Eng.Rand()
+	for n := len(set); n > 0; n-- {
+		j := rng.Intn(n)
+		port := set[j]
+		set[j] = set[n-1]
+		if !s.ports[port].down && s.ports[port].q.Fits(p.Size()) {
+			p.Deflections++
+			s.net.Met.Deflections++
+			if o := s.net.obs; o != nil {
+				o.Deflect(s.id, i, port, p)
+			}
+			s.enqueue(port, p)
+			return
+		}
+	}
+	s.net.drop(s.id, i, p, metrics.DropOverflow)
+}
+
+// deflectionSet returns the ports a packet may be deflected to: every
+// fabric-facing port except the full one. Host-facing ports are excluded —
+// deflecting into a foreign server's NIC is a guaranteed loss — except the
+// packet's own destination port, which is the full port itself here.
+// The returned slice is freshly allocated and may be permuted by the caller.
+func (s *Switch) deflectionSet(p *packet.Packet, exclude int) []int {
+	fab := s.net.Topo.FabricPorts[s.id]
+	set := make([]int, 0, len(fab))
+	for _, i := range fab {
+		if i != exclude {
+			set = append(set, i)
+		}
+	}
+	return set
+}
+
+// routeVertigo implements the paper's §3.2 pipeline:
+//
+//  1. Forwarding: power-of-FwdChoices among FIB candidates by occupancy.
+//  2. Enqueue into the RFS-sorted queue. On overflow, insert by rank and
+//     evict from the tail, so the largest-RFS packets (possibly the arriving
+//     one) become deflection victims.
+//  3. Deflection: power-of-DeflChoices among fabric ports; if every sampled
+//     queue is full, force-insert into one at random, dropping its tail.
+func (s *Switch) routeVertigo(p *packet.Packet) {
+	cands := s.candidates(p)
+	if len(cands) == 0 {
+		s.net.drop(s.id, -1, p, metrics.DropOther)
+		return
+	}
+	i := s.pickPowerOfN(cands, s.net.Cfg.FwdChoices)
+	if s.enqueue(i, p) {
+		return
+	}
+	if !s.net.Cfg.Deflection {
+		// Ablation (Fig. 11a "No Deflection"): behave as a pure SRPT buffer,
+		// keeping the smallest-RFS packets and dropping the largest.
+		if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+			s.markECN(s.ports[i], p)
+			for _, ev := range sq.ForceInsert(p) {
+				s.net.drop(s.id, i, ev, metrics.DropOverflow)
+			}
+			s.ports[i].maybeSend()
+		} else {
+			s.net.drop(s.id, i, p, metrics.DropOverflow)
+		}
+		return
+	}
+	for _, victim := range s.overflowVictims(i, p) {
+		s.deflectVertigo(victim, i)
+	}
+}
+
+// overflowVictims applies the overflow rule on port i for arriving packet p
+// and returns the packets to deflect. With scheduling enabled the victims
+// are the largest-RFS packets after inserting p by rank; without it
+// (Fig. 11a "No Scheduling") the arriving packet itself is the victim,
+// which is exactly random-deflection behaviour.
+func (s *Switch) overflowVictims(i int, p *packet.Packet) []*packet.Packet {
+	if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+		s.markECN(s.ports[i], p)
+		victims := sq.ForceInsert(p)
+		s.ports[i].maybeSend()
+		return victims
+	}
+	return []*packet.Packet{p}
+}
+
+// deflectVertigo deflects one victim from full port origin.
+func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
+	if victim.Deflections >= s.net.Cfg.MaxDeflections {
+		s.net.drop(s.id, origin, victim, metrics.DropDeflectFull)
+		return
+	}
+	set := s.deflectionSet(victim, origin)
+	if len(set) == 0 {
+		s.net.drop(s.id, origin, victim, metrics.DropDeflectFull)
+		return
+	}
+	i := s.pickPowerOfN(set, s.net.Cfg.DeflChoices)
+	if !s.ports[i].down && s.ports[i].q.Fits(victim.Size()) {
+		victim.Deflections++
+		s.net.Met.Deflections++
+		if o := s.net.obs; o != nil {
+			o.Deflect(s.id, origin, i, victim)
+		}
+		s.enqueue(i, victim)
+		return
+	}
+	// Both sampled queues full: severe congestion. Insert into the sampled
+	// port by rank and drop from its tail (paper footnote 5).
+	if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+		victim.Deflections++
+		s.net.Met.Deflections++
+		if o := s.net.obs; o != nil {
+			o.Deflect(s.id, origin, i, victim)
+		}
+		for _, ev := range sq.ForceInsert(victim) {
+			s.net.drop(s.id, i, ev, metrics.DropDeflectFull)
+		}
+		s.ports[i].maybeSend()
+		return
+	}
+	s.net.drop(s.id, i, victim, metrics.DropDeflectFull)
+}
+
+// pickPowerOfN samples n (distinct where possible) ports from cands and
+// returns the one with the lowest queue occupancy. n=1 is a uniform random
+// pick; ties keep the first sample, matching hardware comparator behaviour.
+func (s *Switch) pickPowerOfN(cands []int, n int) int {
+	rng := s.net.Eng.Rand()
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	if n <= 1 {
+		return cands[rng.Intn(len(cands))]
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	best := -1
+	// Partial Fisher-Yates over a stack copy for distinct samples.
+	idx := make([]int, len(cands))
+	for k := range idx {
+		idx[k] = cands[k]
+	}
+	for k := 0; k < n; k++ {
+		j := k + rng.Intn(len(idx)-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		c := idx[k]
+		if best == -1 || s.ports[c].q.Bytes() < s.ports[best].q.Bytes() {
+			best = c
+		}
+	}
+	return best
+}

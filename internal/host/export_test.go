@@ -1,0 +1,8 @@
+package host
+
+import "vertigo/internal/units"
+
+// SetDebugTimeout installs a test observer for ordering timeouts.
+func SetDebugTimeout(fn func(flow uint64, hasExp bool, expected, headV uint32, buflen int, now units.Time)) {
+	debugTimeout = fn
+}

@@ -1,0 +1,102 @@
+package host
+
+import (
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+)
+
+// Acceptor creates the receive-side handler for a flow whose first packet
+// just arrived (how transports accept incoming connections).
+type Acceptor func(first *packet.Packet) func(*packet.Packet)
+
+// Host is one end system: it owns the optional Vertigo TX/RX components and
+// demultiplexes packets between the fabric and transport connections.
+type Host struct {
+	ID  int
+	Eng *sim.Engine
+	Net *fabric.Network
+	Met *metrics.Collector
+
+	// Marker and Orderer are non-nil only when the host runs the Vertigo
+	// stack extensions.
+	Marker  *Marker
+	Orderer *Orderer
+
+	handlers map[uint64]func(*packet.Packet)
+	accept   Acceptor
+}
+
+// NewHost creates host id attached to net. vertigoStack enables the marking
+// and ordering components.
+func NewHost(id int, eng *sim.Engine, net *fabric.Network, met *metrics.Collector,
+	mcfg MarkerConfig, ocfg OrdererConfig, vertigoStack bool) *Host {
+	h := &Host{
+		ID:       id,
+		Eng:      eng,
+		Net:      net,
+		Met:      met,
+		handlers: make(map[uint64]func(*packet.Packet)),
+	}
+	if vertigoStack {
+		h.Marker = NewMarker(mcfg)
+		h.Orderer = NewOrderer(eng, ocfg, h.dispatch)
+		h.Orderer.SetCollector(met)
+	}
+	net.RegisterHost(id, h)
+	return h
+}
+
+// SetAcceptor installs the factory invoked for unknown inbound flows.
+func (h *Host) SetAcceptor(a Acceptor) { h.accept = a }
+
+// Bind routes received packets of a flow to fn.
+func (h *Host) Bind(flow uint64, fn func(*packet.Packet)) { h.handlers[flow] = fn }
+
+// Unbind removes a flow's handler.
+func (h *Host) Unbind(flow uint64) { delete(h.handlers, flow) }
+
+// Send transmits p out of the host NIC, marking data packets when the
+// Vertigo stack is enabled.
+func (h *Host) Send(p *packet.Packet) {
+	if p.Kind == packet.Data {
+		h.Met.PacketsSent++
+		if h.Marker != nil {
+			h.Marker.Mark(p)
+		}
+	}
+	h.Net.Send(p)
+}
+
+// Receive implements fabric.Receiver: marked data packets pass through the
+// ordering component; everything else goes straight to the transport.
+func (h *Host) Receive(p *packet.Packet) {
+	if p.Kind == packet.Data {
+		h.Met.PacketsRecv++
+		h.Met.HopSum += int64(p.Hops)
+		p.RxAt = h.Eng.Now() // NIC hardware RX timestamp
+	}
+	if h.Orderer != nil && p.Kind == packet.Data && p.Marked {
+		h.Orderer.Receive(p)
+		return
+	}
+	h.dispatch(p)
+}
+
+// dispatch hands p to its flow's handler, consulting the acceptor for new
+// inbound flows.
+func (h *Host) dispatch(p *packet.Packet) {
+	if fn, ok := h.handlers[p.Flow]; ok {
+		fn(p)
+		return
+	}
+	if p.Kind == packet.Data && h.accept != nil {
+		if fn := h.accept(p); fn != nil {
+			h.handlers[p.Flow] = fn
+			fn(p)
+		}
+	}
+	// Packets for unknown flows (e.g. duplicates arriving after the
+	// receiver state was torn down) are silently consumed, as a NIC would.
+}

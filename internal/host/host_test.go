@@ -1,0 +1,184 @@
+package host
+
+import (
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/units"
+)
+
+func hostPair(t *testing.T, vertigoStack bool) (*sim.Engine, *Host, *Host, *metrics.Collector) {
+	t.Helper()
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Spines: 1, Leaves: 2, HostsPerLeaf: 1,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := fabric.New(eng, tp, met, fabric.DefaultConfig(fabric.Vertigo))
+	a := NewHost(0, eng, net, met, DefaultMarkerConfig(), DefaultOrdererConfig(), vertigoStack)
+	b := NewHost(1, eng, net, met, DefaultMarkerConfig(), DefaultOrdererConfig(), vertigoStack)
+	return eng, a, b, met
+}
+
+func TestHostBindDispatch(t *testing.T) {
+	eng, a, b, _ := hostPair(t, false)
+	var got []*packet.Packet
+	b.Bind(7, func(p *packet.Packet) { got = append(got, p) })
+	a.Send(&packet.Packet{Kind: packet.Data, Src: 0, Dst: 1, Flow: 7, PayloadLen: 100})
+	eng.Run(units.Second)
+	if len(got) != 1 {
+		t.Fatalf("handler got %d packets, want 1", len(got))
+	}
+	b.Unbind(7)
+	a.Send(&packet.Packet{Kind: packet.Data, Src: 0, Dst: 1, Flow: 7, PayloadLen: 100})
+	eng.Run(2 * units.Second)
+	if len(got) != 1 {
+		t.Fatal("unbound handler still invoked")
+	}
+}
+
+func TestHostAcceptorCreatesHandlerOnce(t *testing.T) {
+	eng, a, b, _ := hostPair(t, false)
+	created, received := 0, 0
+	b.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+		created++
+		return func(p *packet.Packet) { received++ }
+	})
+	for i := 0; i < 5; i++ {
+		a.Send(&packet.Packet{Kind: packet.Data, Src: 0, Dst: 1, Flow: 9, PayloadLen: 100})
+	}
+	eng.Run(units.Second)
+	if created != 1 {
+		t.Fatalf("acceptor ran %d times, want 1", created)
+	}
+	if received != 5 {
+		t.Fatalf("handler got %d packets, want 5", received)
+	}
+}
+
+func TestHostMarksOutgoingData(t *testing.T) {
+	eng, a, b, _ := hostPair(t, true)
+	a.Marker.StartFlow(3, 1, 5000)
+	var got *packet.Packet
+	b.Bind(3, func(p *packet.Packet) { got = p })
+	a.Send(&packet.Packet{
+		Kind: packet.Data, Src: 0, Dst: 1, Flow: 3,
+		Seq: 0, PayloadLen: 1460, FlowSize: 5000,
+	})
+	eng.Run(units.Second)
+	if got == nil {
+		t.Fatal("nothing delivered")
+	}
+	if !got.Marked || got.Info.RFS != 5000 || !got.Info.First {
+		t.Fatalf("bad marking: %+v", got.Info)
+	}
+}
+
+func TestHostAcksBypassMarkerAndOrderer(t *testing.T) {
+	eng, a, b, _ := hostPair(t, true)
+	var got *packet.Packet
+	b.Bind(4, func(p *packet.Packet) { got = p })
+	a.Send(&packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, Flow: 4, AckSeq: 100})
+	eng.Run(units.Second)
+	if got == nil {
+		t.Fatal("ack not delivered")
+	}
+	if got.Marked {
+		t.Fatal("ack was marked")
+	}
+}
+
+func TestHostCountsReceives(t *testing.T) {
+	eng, a, b, met := hostPair(t, false)
+	b.Bind(5, func(*packet.Packet) {})
+	a.Send(&packet.Packet{Kind: packet.Data, Src: 0, Dst: 1, Flow: 5, PayloadLen: 100})
+	a.Send(&packet.Packet{Kind: packet.Ack, Src: 0, Dst: 1, Flow: 5})
+	eng.Run(units.Second)
+	if met.PacketsSent != 1 || met.PacketsRecv != 1 {
+		t.Fatalf("sent=%d recv=%d, want 1/1 (ACKs excluded)", met.PacketsSent, met.PacketsRecv)
+	}
+	if met.HopSum == 0 {
+		t.Fatal("hop accounting missing")
+	}
+}
+
+func TestMarkerLASDiscipline(t *testing.T) {
+	cfg := DefaultMarkerConfig()
+	cfg.Discipline = LAS
+	m := NewMarker(cfg)
+	m.StartFlow(1, 0, 5*packet.MSS)
+	for i := 0; i < 5; i++ {
+		p := &packet.Packet{Flow: 1, Seq: int64(i) * packet.MSS, PayloadLen: packet.MSS}
+		m.Mark(p)
+		if p.Info.RFS != uint32(i) {
+			t.Fatalf("LAS age %d, want %d", p.Info.RFS, i)
+		}
+	}
+}
+
+func TestMarkerFlowIDWrapsAt8(t *testing.T) {
+	m := NewMarker(DefaultMarkerConfig())
+	ids := map[uint8]bool{}
+	for i := 0; i < 8; i++ {
+		m.StartFlow(uint64(i+1), 5, 1000)
+		p := &packet.Packet{Flow: uint64(i + 1), PayloadLen: 100}
+		m.Mark(p)
+		ids[p.Info.FlowID] = true
+	}
+	if len(ids) != 8 {
+		t.Fatalf("flow IDs not distinct across 8 flows: %v", ids)
+	}
+	// The ninth flow to the same destination reuses ID 0.
+	m.StartFlow(100, 5, 1000)
+	p := &packet.Packet{Flow: 100, PayloadLen: 100}
+	m.Mark(p)
+	if p.Info.FlowID != 0 {
+		t.Fatalf("9th flow ID %d, want wraparound to 0", p.Info.FlowID)
+	}
+}
+
+func TestMarkerPanicsOnUnknownFlow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("marking unregistered flow did not panic")
+		}
+	}()
+	NewMarker(DefaultMarkerConfig()).Mark(&packet.Packet{Flow: 42})
+}
+
+func TestMarkerBoostCapsAtMaxRetx(t *testing.T) {
+	m := NewMarker(DefaultMarkerConfig())
+	m.StartFlow(1, 0, 100000)
+	p := &packet.Packet{Flow: 1, Seq: 0, PayloadLen: packet.MSS}
+	for i := 0; i < packet.MaxRetx+5; i++ {
+		m.Mark(p)
+	}
+	if p.Info.RetCnt > packet.MaxRetx {
+		t.Fatalf("retcnt %d exceeds cap %d", p.Info.RetCnt, packet.MaxRetx)
+	}
+}
+
+func TestMarkerEndFlowEnablesFilterReuse(t *testing.T) {
+	m := NewMarker(DefaultMarkerConfig())
+	m.StartFlow(1, 0, 10*packet.MSS)
+	for i := 0; i < 10; i++ {
+		m.Mark(&packet.Packet{Flow: 1, Seq: int64(i) * packet.MSS, PayloadLen: packet.MSS})
+	}
+	m.EndFlow(1)
+	// Same flow key again: first transmissions must not look like retx.
+	m.StartFlow(1, 0, 10*packet.MSS)
+	p := &packet.Packet{Flow: 1, Seq: 0, PayloadLen: packet.MSS}
+	m.Mark(p)
+	if p.Info.RetCnt != 0 {
+		t.Fatalf("stale signature: retcnt %d", p.Info.RetCnt)
+	}
+}

@@ -1,0 +1,177 @@
+// Package host implements Vertigo's end-host components: the TX-path
+// marking component that tags packets with remaining flow size (RFS) and
+// boosts retransmissions (§3.1), the RX-path ordering component that
+// re-sequences deflected packets before the transport sees them (§3.3),
+// and the Host glue that binds transports to the fabric.
+package host
+
+import (
+	"fmt"
+
+	"vertigo/internal/cuckoo"
+	"vertigo/internal/packet"
+)
+
+// Discipline selects the marking discipline (§4.3 "Alternative marking
+// disciplines").
+type Discipline int
+
+// Marking disciplines.
+const (
+	// SRPT marks packets with the flow's remaining bytes; lower is better.
+	SRPT Discipline = iota
+	// LAS (least attained service / flow aging) marks packets with the
+	// flow's age in packets, for when flow sizes are unknown in advance.
+	LAS
+)
+
+func (d Discipline) String() string {
+	if d == LAS {
+		return "las"
+	}
+	return "srpt"
+}
+
+// MarkerConfig parameterizes the marking component.
+type MarkerConfig struct {
+	Discipline Discipline
+	// BoostFactorLog2 is log2 of the boosting factor (paper default 2x =>
+	// 1). Boosting halts at packet.MaxRetx rotations.
+	BoostFactorLog2 uint
+	// Boosting enables retransmission boosting (Fig. 11b ablation).
+	Boosting bool
+	// FilterCapacity sizes the duplicate-detection cuckoo filter; zero picks
+	// a default suitable for a single host's in-flight packets.
+	FilterCapacity int
+}
+
+// DefaultMarkerConfig returns the paper's default marking settings.
+func DefaultMarkerConfig() MarkerConfig {
+	return MarkerConfig{Discipline: SRPT, BoostFactorLog2: 1, Boosting: true}
+}
+
+// markerFlow is the per-flow entry in the marking component's flow table.
+type markerFlow struct {
+	size   int64
+	flowID uint8
+	retx   map[int64]uint8 // seq -> retransmission count (boost rotations)
+	pkts   int64           // packets first-transmitted so far (LAS age)
+}
+
+// Marker is the TX-path marking component. It tracks outgoing flows in a
+// hash table, tags every data packet with a flowinfo header, and detects
+// retransmissions with a cuckoo filter over (flow, seq) signatures so it can
+// boost their priority (paper §3.1.2). Not safe for concurrent use.
+type Marker struct {
+	cfg    MarkerConfig
+	flows  map[uint64]*markerFlow
+	filter *cuckoo.Filter
+	nextID map[int]uint8 // per-destination 3-bit flow epoch
+	// Boosts counts boosting operations applied (telemetry).
+	Boosts int64
+}
+
+// NewMarker returns a marking component.
+func NewMarker(cfg MarkerConfig) *Marker {
+	capHint := cfg.FilterCapacity
+	if capHint <= 0 {
+		capHint = 1 << 16
+	}
+	return &Marker{
+		cfg:    cfg,
+		flows:  make(map[uint64]*markerFlow),
+		filter: cuckoo.New(capHint),
+		nextID: make(map[int]uint8),
+	}
+}
+
+// StartFlow registers an outgoing flow of the given total size toward dst.
+// It must be called before the flow's first packet is marked.
+func (m *Marker) StartFlow(flow uint64, dst int, size int64) {
+	id := m.nextID[dst]
+	m.nextID[dst] = (id + 1) % (1 << packet.FlowIDBits)
+	m.flows[flow] = &markerFlow{size: size, flowID: id}
+}
+
+// EndFlow removes a completed flow from the flow table and clears its
+// signatures from the duplicate filter.
+func (m *Marker) EndFlow(flow uint64) {
+	f, ok := m.flows[flow]
+	if !ok {
+		return
+	}
+	for seq := int64(0); seq < f.size; seq += packet.MSS {
+		m.filter.Delete(sig(flow, seq))
+	}
+	if f.size == 0 {
+		m.filter.Delete(sig(flow, 0))
+	}
+	delete(m.flows, flow)
+}
+
+// ActiveFlows returns the number of tracked flows.
+func (m *Marker) ActiveFlows() int { return len(m.flows) }
+
+// sig is the packet signature stored in the duplicate filter: in deployment
+// a CRC of the packet headers, here a mix of the flow ID and byte offset.
+func sig(flow uint64, seq int64) uint64 {
+	return mix(flow ^ mix(uint64(seq)+0x9e3779b97f4a7c15))
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Mark stamps p's flowinfo header. The flow must have been registered with
+// StartFlow; marking an unknown flow panics, as it means the host stack
+// wiring is broken. Retransmitted packets have their rank boosted by one
+// rotation per retransmission, up to packet.MaxRetx.
+func (m *Marker) Mark(p *packet.Packet) {
+	f, ok := m.flows[p.Flow]
+	if !ok {
+		panic(fmt.Sprintf("host: marking packet of unregistered flow %d", p.Flow))
+	}
+
+	var base uint32
+	var first bool
+	switch m.cfg.Discipline {
+	case SRPT:
+		base = uint32(f.size - p.Seq) // remaining bytes incl. this packet
+		first = p.Seq == 0
+	case LAS:
+		// Age in packets at first transmission of this segment.
+		base = uint32(p.Seq / packet.MSS)
+		first = p.Seq == 0
+	}
+
+	key := sig(p.Flow, p.Seq)
+	retcnt := uint8(0)
+	if m.filter.Contains(key) {
+		// Retransmission: bump this segment's boost count.
+		if f.retx == nil {
+			f.retx = make(map[int64]uint8)
+		}
+		c := f.retx[p.Seq]
+		if m.cfg.Boosting && c < packet.MaxRetx {
+			c++
+			f.retx[p.Seq] = c
+			m.Boosts++
+		}
+		retcnt = c
+	} else {
+		m.filter.Insert(key)
+		f.pkts++
+	}
+
+	rfs := base
+	for i := uint8(0); i < retcnt; i++ {
+		rfs = packet.BoostRFS(rfs, m.cfg.BoostFactorLog2)
+	}
+	p.Marked = true
+	p.Info = packet.FlowInfo{RFS: rfs, RetCnt: retcnt, FlowID: f.flowID, First: first}
+}

@@ -1,0 +1,262 @@
+package host
+
+import (
+	"sort"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+// OrdererConfig parameterizes the RX-path ordering component.
+type OrdererConfig struct {
+	// Timeout is τ, the maximum time to hold early packets while waiting for
+	// a delayed (deflected) packet (paper default 360 µs).
+	Timeout units.Time
+	// Discipline must match the sender's marking discipline: it determines
+	// whether the position value decreases (SRPT) or increases (LAS) along
+	// the flow.
+	Discipline Discipline
+	// BoostFactorLog2 must match the marker's, so boosted RFS values can be
+	// reverted with retcnt inverse rotations.
+	BoostFactorLog2 uint
+}
+
+// DefaultOrdererConfig returns the paper's default ordering settings.
+func DefaultOrdererConfig() OrdererConfig {
+	return OrdererConfig{Timeout: 360 * units.Microsecond, Discipline: SRPT, BoostFactorLog2: 1}
+}
+
+// ooEntry is one buffered out-of-order packet.
+type ooEntry struct {
+	p       *packet.Packet
+	v       uint32 // un-boosted position value
+	arrived units.Time
+}
+
+// orderFlow is the per-flow state of the Fig. 4 state machine. The three
+// paper states map onto the fields: Init ⇔ no state, In-order Receive ⇔
+// empty buf, Out-of-order Receive ⇔ non-empty buf (timer armed).
+type orderFlow struct {
+	hasExpected bool
+	expected    uint32 // position value of the next in-order packet
+	finished    bool   // flow fully delivered; state lingers as a tombstone
+	buf         []ooEntry
+	timer       *sim.Timer
+}
+
+// Orderer is the RX-path ordering component: the first software entity to
+// see packets off the NIC. It detects out-of-order (deflected) packets,
+// buffers them up to τ, and releases a correctly ordered stream to the
+// transport, which therefore never observes deflection-induced reordering
+// unless a packet was truly lost (§3.3). Not safe for concurrent use.
+type Orderer struct {
+	eng     *sim.Engine
+	cfg     OrdererConfig
+	deliver func(*packet.Packet)
+	flows   map[uint64]*orderFlow
+	met     *metrics.Collector // optional aggregate telemetry
+
+	// Telemetry.
+	Held     int64 // packets buffered at least once
+	Timeouts int64 // τ expirations
+	Releases int64 // packets released by a timeout (ahead of a gap)
+}
+
+// NewOrderer returns an ordering component delivering in-order packets via
+// the deliver callback.
+func NewOrderer(eng *sim.Engine, cfg OrdererConfig, deliver func(*packet.Packet)) *Orderer {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultOrdererConfig().Timeout
+	}
+	return &Orderer{eng: eng, cfg: cfg, deliver: deliver, flows: make(map[uint64]*orderFlow)}
+}
+
+// SetCollector mirrors the orderer's telemetry into a metrics collector.
+func (o *Orderer) SetCollector(met *metrics.Collector) { o.met = met }
+
+// ActiveFlows returns the number of flows with ordering state.
+func (o *Orderer) ActiveFlows() int { return len(o.flows) }
+
+// position returns the packet's un-boosted position value.
+func (o *Orderer) position(p *packet.Packet) uint32 {
+	return packet.UnboostRFS(p.Info.RFS, p.Info.RetCnt, o.cfg.BoostFactorLog2)
+}
+
+// before reports whether position a precedes position b in flow order:
+// under SRPT the remaining size shrinks along the flow, under LAS the age
+// grows.
+func (o *Orderer) before(a, b uint32) bool {
+	if o.cfg.Discipline == SRPT {
+		return a > b
+	}
+	return a < b
+}
+
+// next returns the expected position after delivering p at position v.
+func (o *Orderer) next(v uint32, p *packet.Packet) uint32 {
+	if o.cfg.Discipline == SRPT {
+		return v - uint32(p.PayloadLen)
+	}
+	return v + 1
+}
+
+// done reports whether delivering p (making nextExpected current) ends the
+// flow: under SRPT the expected remaining size reaches zero; under LAS the
+// FIN-marked packet has been delivered.
+func (o *Orderer) done(nextExpected uint32, p *packet.Packet) bool {
+	if o.cfg.Discipline == SRPT {
+		return nextExpected == 0
+	}
+	return p.Fin
+}
+
+// Receive processes one marked data packet.
+func (o *Orderer) Receive(p *packet.Packet) {
+	v := o.position(p)
+	st := o.flows[p.Flow]
+	if st == nil {
+		st = &orderFlow{}
+		o.flows[p.Flow] = st
+		if p.Info.First {
+			st.hasExpected = true
+			st.expected = v
+		}
+		// A flow whose first-seen packet is not flagged First started with
+		// reordering; we buffer until the First packet or a timeout reveals
+		// where to start.
+	}
+
+	switch {
+	case st.finished:
+		// Tombstone: the flow is fully delivered, so anything arriving now is
+		// a straggling duplicate or retransmission. Forward it immediately;
+		// the transport deduplicates (paper §3.3.2 case 3).
+		o.deliver(p)
+	case st.hasExpected && v == st.expected:
+		o.deliverRun(p.Flow, st, p, v)
+	case !st.hasExpected && p.Info.First:
+		st.hasExpected = true
+		st.expected = v
+		o.deliverRun(p.Flow, st, p, v)
+	case st.hasExpected && o.before(v, st.expected):
+		// Position already passed: a delayed retransmission or duplicate
+		// (paper case 3). Hand it straight up; the transport deduplicates.
+		o.deliver(p)
+	default:
+		o.bufferEarly(st, p, v)
+	}
+}
+
+// deliverRun delivers p, then drains every buffered packet that has become
+// consecutive. It finishes or re-arms the flow's timer as appropriate.
+func (o *Orderer) deliverRun(flow uint64, st *orderFlow, p *packet.Packet, v uint32) {
+	o.deliver(p)
+	st.expected = o.next(v, p)
+	finished := o.done(st.expected, p)
+	for len(st.buf) > 0 && st.buf[0].v == st.expected {
+		e := st.buf[0]
+		st.buf = st.buf[1:]
+		o.deliver(e.p)
+		st.expected = o.next(e.v, e.p)
+		finished = o.done(st.expected, e.p)
+	}
+	if finished && len(st.buf) == 0 {
+		o.finish(flow, st)
+		return
+	}
+	o.rearm(flow, st)
+}
+
+// finish marks a flow fully delivered. The state lingers as a tombstone for
+// one τ so that straggling duplicates (e.g. a retransmission that crossed
+// paths with the original) pass straight through instead of being buffered,
+// then is reclaimed.
+func (o *Orderer) finish(flow uint64, st *orderFlow) {
+	if st.timer != nil {
+		st.timer.Cancel()
+		st.timer = nil
+	}
+	st.finished = true
+	st.buf = nil
+	o.eng.After(o.cfg.Timeout, func() {
+		if cur := o.flows[flow]; cur == st {
+			delete(o.flows, flow)
+		}
+	})
+}
+
+// bufferEarly inserts an early packet into the flow-ordered buffer,
+// discarding duplicates, and arms the timer.
+func (o *Orderer) bufferEarly(st *orderFlow, p *packet.Packet, v uint32) {
+	i := sort.Search(len(st.buf), func(i int) bool { return !o.before(st.buf[i].v, v) })
+	if i < len(st.buf) && st.buf[i].v == v {
+		return // duplicate of an already-buffered packet
+	}
+	st.buf = append(st.buf, ooEntry{})
+	copy(st.buf[i+1:], st.buf[i:])
+	st.buf[i] = ooEntry{p: p, v: v, arrived: o.eng.Now()}
+	o.Held++
+	if o.met != nil {
+		o.met.OrderingHeld++
+	}
+	if st.timer == nil || !st.timer.Pending() {
+		o.armAt(flowOf(p), st, st.buf[0].arrived+o.cfg.Timeout)
+	}
+}
+
+func flowOf(p *packet.Packet) uint64 { return p.Flow }
+
+// debugTimeout, when set by tests, observes every ordering timeout.
+var debugTimeout func(flow uint64, hasExp bool, expected, headV uint32, buflen int, now units.Time)
+
+// rearm resets the timer to the head-of-buffer arrival plus τ (paper §3.3.2
+// event 2), or disarms it when nothing is buffered.
+func (o *Orderer) rearm(flow uint64, st *orderFlow) {
+	if st.timer != nil {
+		st.timer.Cancel()
+		st.timer = nil
+	}
+	if len(st.buf) > 0 {
+		o.armAt(flow, st, st.buf[0].arrived+o.cfg.Timeout)
+	}
+}
+
+func (o *Orderer) armAt(flow uint64, st *orderFlow, at units.Time) {
+	if at < o.eng.Now() {
+		at = o.eng.Now()
+	}
+	st.timer = o.eng.At(at, func() { o.timeout(flow) })
+}
+
+// timeout releases buffered packets up to the next gap (paper §3.3.2 event
+// 4): the transport now sees the gap and can run its own loss recovery.
+func (o *Orderer) timeout(flow uint64) {
+	st := o.flows[flow]
+	if st == nil {
+		return
+	}
+	st.timer = nil
+	if len(st.buf) == 0 {
+		// Nothing held (state was idle): drop stale flow state.
+		if !st.hasExpected {
+			delete(o.flows, flow)
+		}
+		return
+	}
+	o.Timeouts++
+	if o.met != nil {
+		o.met.OrderTimeout++
+	}
+	if debugTimeout != nil {
+		debugTimeout(flow, st.hasExpected, st.expected, st.buf[0].v, len(st.buf), o.eng.Now())
+	}
+	// Skip the gap: the next packet in flow order becomes the new expected.
+	e := st.buf[0]
+	st.buf = st.buf[1:]
+	st.hasExpected = true
+	st.expected = e.v
+	o.Releases++
+	o.deliverRun(flow, st, e.p, e.v)
+}

@@ -1,0 +1,142 @@
+package host
+
+import (
+	"math/rand"
+	"testing"
+
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+// mkFlow builds the marked packets of one SRPT flow of n full segments.
+func mkFlow(flow uint64, n int) []*packet.Packet {
+	size := int64(n * packet.MSS)
+	pkts := make([]*packet.Packet, n)
+	for i := 0; i < n; i++ {
+		seq := int64(i * packet.MSS)
+		pkts[i] = &packet.Packet{
+			Kind:       packet.Data,
+			Flow:       flow,
+			Seq:        seq,
+			PayloadLen: packet.MSS,
+			FlowSize:   size,
+			Fin:        i == n-1,
+			Marked:     true,
+			Info: packet.FlowInfo{
+				RFS:   uint32(size - seq),
+				First: seq == 0,
+			},
+		}
+	}
+	return pkts
+}
+
+// collectDelivery runs the orderer over pkts in the given arrival order with
+// the given inter-arrival gap and returns the delivered sequence offsets.
+func collectDelivery(t *testing.T, pkts []*packet.Packet, gap units.Time) []int64 {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	var got []int64
+	o := NewOrderer(eng, DefaultOrdererConfig(), func(p *packet.Packet) {
+		got = append(got, p.Seq)
+	})
+	at := units.Time(0)
+	for _, p := range pkts {
+		p := p
+		eng.At(at, func() { o.Receive(p) })
+		at += gap
+	}
+	eng.Run(10 * units.Second)
+	return got
+}
+
+func TestOrdererInOrderPassThrough(t *testing.T) {
+	pkts := mkFlow(1, 10)
+	got := collectDelivery(t, pkts, units.Microsecond)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d packets, want 10", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i*packet.MSS) {
+			t.Fatalf("delivery %d: seq %d, want %d", i, seq, i*packet.MSS)
+		}
+	}
+}
+
+func TestOrdererReversedWindow(t *testing.T) {
+	// SRPT queues dequeue a flow's later packets first; the orderer must
+	// invert that back before the transport sees it.
+	pkts := mkFlow(2, 10)
+	rev := make([]*packet.Packet, 10)
+	for i := range pkts {
+		rev[9-i] = pkts[i]
+	}
+	got := collectDelivery(t, rev, units.Microsecond)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d packets, want 10", len(got))
+	}
+	for i, seq := range got {
+		if seq != int64(i*packet.MSS) {
+			t.Fatalf("delivery %d: seq %d, want %d (full order %v)", i, seq, i*packet.MSS, got)
+		}
+	}
+}
+
+func TestOrdererRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		pkts := mkFlow(uint64(100+trial), n)
+		perm := rng.Perm(n)
+		shuffled := make([]*packet.Packet, n)
+		for i, j := range perm {
+			shuffled[i] = pkts[j]
+		}
+		got := collectDelivery(t, shuffled, 500*units.Nanosecond)
+		if len(got) != n {
+			t.Fatalf("trial %d: delivered %d packets, want %d", trial, len(got), n)
+		}
+		for i, seq := range got {
+			if seq != int64(i*packet.MSS) {
+				t.Fatalf("trial %d: delivery %d is seq %d, want %d (perm %v, got %v)",
+					trial, i, seq, i*packet.MSS, perm, got)
+			}
+		}
+	}
+}
+
+func TestOrdererTimeoutReleasesGap(t *testing.T) {
+	// Lose packet 2 of 5: the orderer must hold 3,4,5 for τ, then release.
+	pkts := mkFlow(3, 5)
+	arrive := []*packet.Packet{pkts[0], pkts[2], pkts[3], pkts[4]} // pkts[1] lost
+	got := collectDelivery(t, arrive, units.Microsecond)
+	if len(got) != 4 {
+		t.Fatalf("delivered %d packets, want 4 (got %v)", len(got), got)
+	}
+	want := []int64{0, 2 * packet.MSS, 3 * packet.MSS, 4 * packet.MSS}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrdererHoldsUntilTimeout(t *testing.T) {
+	pkts := mkFlow(4, 3)
+	eng := sim.NewEngine(1)
+	var got []int64
+	cfg := DefaultOrdererConfig()
+	o := NewOrderer(eng, cfg, func(p *packet.Packet) { got = append(got, p.Seq) })
+	// First packet arrives, then a gap: packet 3 arrives without packet 2.
+	eng.At(0, func() { o.Receive(pkts[0]) })
+	eng.At(units.Microsecond, func() { o.Receive(pkts[2]) })
+	eng.Run(cfg.Timeout / 2)
+	if len(got) != 1 {
+		t.Fatalf("before timeout: delivered %v, want only seq 0", got)
+	}
+	eng.Run(10 * units.Second)
+	if len(got) != 2 {
+		t.Fatalf("after timeout: delivered %v, want 2 packets", got)
+	}
+}

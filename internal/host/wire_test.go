@@ -1,0 +1,244 @@
+package host
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vertigo/internal/packet"
+)
+
+func wireSegs(t *testing.T, m *WireMarker, key uint64, size int64) []WireSegment {
+	t.Helper()
+	m.StartFlow(key, size)
+	var segs []WireSegment
+	for off := int64(0); off < size; off += packet.MSS {
+		n := packet.MSS
+		if size-off < int64(n) {
+			n = int(size - off)
+		}
+		var hdr [packet.ShimHeaderLen]byte
+		fi, err := m.Mark(key, off, n, hdr[:], 0x0800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip through the wire encoding, as a NIC would.
+		decoded, inner, err := packet.DecodeShim(hdr[:])
+		if err != nil || inner != 0x0800 || decoded != fi {
+			t.Fatalf("shim round trip: %v %x %+v vs %+v", err, inner, decoded, fi)
+		}
+		segs = append(segs, WireSegment{
+			Key: key, Info: fi, Len: n, Last: off+int64(n) == size,
+		})
+	}
+	return segs
+}
+
+func TestWireMarkerSRPTValues(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	segs := wireSegs(t, m, 1, 4000)
+	if len(segs) != 3 {
+		t.Fatalf("%d segments, want 3", len(segs))
+	}
+	wantRFS := []uint32{4000, 2540, 1080}
+	for i, s := range segs {
+		if s.Info.RFS != wantRFS[i] {
+			t.Errorf("segment %d RFS %d, want %d", i, s.Info.RFS, wantRFS[i])
+		}
+		if s.Info.First != (i == 0) {
+			t.Errorf("segment %d First=%v", i, s.Info.First)
+		}
+	}
+}
+
+func TestWireMarkerBoostsRetransmissions(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	m.StartFlow(1, 100_000)
+	first, err := m.Mark(1, 0, packet.MSS, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.RetCnt != 0 {
+		t.Fatalf("first transmission retcnt %d", first.RetCnt)
+	}
+	second, err := m.Mark(1, 0, packet.MSS, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.RetCnt != 1 {
+		t.Fatalf("retransmission retcnt %d, want 1", second.RetCnt)
+	}
+	if got := packet.UnboostRFS(second.RFS, second.RetCnt, 1); got != first.RFS {
+		t.Fatalf("unboosted RFS %d, want %d", got, first.RFS)
+	}
+	if second.RFS >= first.RFS {
+		t.Fatalf("boosted RFS %d not below original %d", second.RFS, first.RFS)
+	}
+}
+
+func TestWireMarkerErrors(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	if _, err := m.Mark(9, 0, 100, nil, 0); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	m.StartFlow(1, 1000)
+	if _, err := m.Mark(1, 900, 200, nil, 0); err == nil {
+		t.Error("segment past flow end accepted")
+	}
+	if _, err := m.Mark(1, -1, 10, nil, 0); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestWireMarkerEndFlowClearsState(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	m.StartFlow(1, 10_000)
+	m.Mark(1, 0, packet.MSS, nil, 0)
+	m.EndFlow(1)
+	if m.ActiveFlows() != 0 {
+		t.Fatal("flow table not cleared")
+	}
+	// Re-registering the same key must start fresh: no retransmission hit.
+	m.StartFlow(1, 10_000)
+	fi, err := m.Mark(1, 0, packet.MSS, nil, 0)
+	if err != nil || fi.RetCnt != 0 {
+		t.Fatalf("stale filter state: retcnt=%d err=%v", fi.RetCnt, err)
+	}
+}
+
+func TestWireOrdererInOrder(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	o := NewWireOrderer(DefaultOrdererConfig())
+	segs := wireSegs(t, m, 1, 20_000)
+	now := time.Unix(0, 0)
+	var got []uint32
+	for _, s := range segs {
+		for _, r := range o.Receive(now, s) {
+			got = append(got, r.Info.RFS)
+		}
+		now = now.Add(time.Microsecond)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("delivered %d, want %d", len(got), len(segs))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Fatal("delivery not in flow order")
+		}
+	}
+	if o.Held != 0 {
+		t.Fatalf("in-order stream buffered %d segments", o.Held)
+	}
+}
+
+func TestWireOrdererPermuted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m := NewWireMarker(DefaultMarkerConfig())
+		o := NewWireOrderer(DefaultOrdererConfig())
+		n := 2 + rng.Intn(25)
+		segs := wireSegs(t, m, uint64(trial+1), int64(n)*packet.MSS)
+		perm := rng.Perm(n)
+		now := time.Unix(0, 0)
+		var got []WireSegment
+		for _, j := range perm {
+			got = append(got, o.Receive(now, segs[j])...)
+			now = now.Add(time.Microsecond)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: delivered %d of %d", trial, len(got), n)
+		}
+		for i, g := range got {
+			if g.Info.RFS != segs[i].Info.RFS {
+				t.Fatalf("trial %d: out of order at %d", trial, i)
+			}
+		}
+		if o.ActiveFlows() > 1 {
+			t.Fatalf("trial %d: %d flows live, want tombstone only", trial, o.ActiveFlows())
+		}
+	}
+}
+
+func TestWireOrdererExpire(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	o := NewWireOrderer(DefaultOrdererConfig())
+	segs := wireSegs(t, m, 1, 5*packet.MSS)
+	now := time.Unix(0, 0)
+	// Deliver 0, lose 1, deliver 2..4.
+	if got := o.Receive(now, segs[0]); len(got) != 1 {
+		t.Fatal("first segment not delivered")
+	}
+	for _, s := range segs[2:] {
+		if got := o.Receive(now, s); got != nil {
+			t.Fatal("early segment delivered before gap fill")
+		}
+	}
+	dl, ok := o.NextDeadline()
+	if !ok {
+		t.Fatal("no deadline with buffered segments")
+	}
+	if got := o.Expire(dl.Add(-time.Nanosecond)); got != nil {
+		t.Fatal("expired before deadline")
+	}
+	got := o.Expire(dl)
+	if len(got) != 3 {
+		t.Fatalf("timeout released %d segments, want 3", len(got))
+	}
+	if o.Timeouts != 1 {
+		t.Fatalf("timeouts %d, want 1", o.Timeouts)
+	}
+	// The straggler now passes straight through.
+	if late := o.Receive(dl.Add(time.Microsecond), segs[1]); len(late) != 1 {
+		t.Fatal("late segment not passed through")
+	}
+}
+
+func TestWireOrdererTombstoneReclaimed(t *testing.T) {
+	m := NewWireMarker(DefaultMarkerConfig())
+	o := NewWireOrderer(DefaultOrdererConfig())
+	segs := wireSegs(t, m, 1, 2*packet.MSS)
+	now := time.Unix(0, 0)
+	o.Receive(now, segs[0])
+	o.Receive(now, segs[1])
+	if o.ActiveFlows() != 1 {
+		t.Fatal("tombstone missing after completion")
+	}
+	dl, ok := o.NextDeadline()
+	if !ok {
+		t.Fatal("tombstone has no reclaim deadline")
+	}
+	o.Expire(dl)
+	if o.ActiveFlows() != 0 {
+		t.Fatal("tombstone not reclaimed")
+	}
+}
+
+func TestWireOrdererLASDiscipline(t *testing.T) {
+	mcfg := DefaultMarkerConfig()
+	mcfg.Discipline = LAS
+	ocfg := DefaultOrdererConfig()
+	ocfg.Discipline = LAS
+	m := NewWireMarker(mcfg)
+	o := NewWireOrderer(ocfg)
+	segs := wireSegs(t, m, 1, 6*packet.MSS)
+	// LAS values are ages 0..5.
+	for i, s := range segs {
+		if s.Info.RFS != uint32(i) {
+			t.Fatalf("LAS age %d, want %d", s.Info.RFS, i)
+		}
+	}
+	now := time.Unix(0, 0)
+	var got []WireSegment
+	for _, j := range []int{2, 0, 1, 5, 3, 4} {
+		got = append(got, o.Receive(now, segs[j])...)
+		now = now.Add(time.Microsecond)
+	}
+	if len(got) != 6 {
+		t.Fatalf("delivered %d of 6 under LAS", len(got))
+	}
+	for i, g := range got {
+		if g.Info.RFS != uint32(i) {
+			t.Fatalf("LAS order broken at %d", i)
+		}
+	}
+}

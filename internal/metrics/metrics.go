@@ -1,0 +1,226 @@
+// Package metrics collects and summarizes simulation results: flow and
+// query completion times, drop/deflection/reorder counters, goodput, and
+// the percentile and CDF machinery the paper's figures are built from.
+package metrics
+
+import (
+	"sort"
+
+	"vertigo/internal/units"
+)
+
+// DropReason classifies packet drops for the §2 and Fig. 12 breakdowns.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropOverflow    DropReason = iota // FIFO tail drop / no deflection room
+	DropDeflectFull                   // deflection targets all full (Vertigo)
+	DropTTL                           // hop budget exhausted
+	DropLinkDown                      // transmitted into a failed link
+	DropOther
+	numDropReasons
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropOverflow:
+		return "overflow"
+	case DropDeflectFull:
+		return "deflect-full"
+	case DropTTL:
+		return "ttl"
+	case DropLinkDown:
+		return "link-down"
+	default:
+		return "other"
+	}
+}
+
+// FlowClass separates background traffic from incast responses.
+type FlowClass int
+
+// Flow classes.
+const (
+	Background FlowClass = iota
+	Incast
+)
+
+func (c FlowClass) String() string {
+	if c == Incast {
+		return "incast"
+	}
+	return "background"
+}
+
+// FlowRecord is one flow's lifetime.
+type FlowRecord struct {
+	ID        uint64
+	Class     FlowClass
+	Src, Dst  int
+	Size      int64
+	Start     units.Time
+	End       units.Time // valid when Completed
+	Completed bool
+	Query     int // owning query ID for incast flows, else -1
+}
+
+// FCT returns the flow completion time.
+func (f *FlowRecord) FCT() units.Time { return f.End - f.Start }
+
+// QueryRecord is one incast query's lifetime: it completes when all of its
+// member flows complete (paper §2).
+type QueryRecord struct {
+	ID        int
+	Scale     int // number of responding servers
+	Start     units.Time
+	End       units.Time
+	Completed bool
+	Remaining int // flows not yet finished
+}
+
+// QCT returns the query completion time.
+func (q *QueryRecord) QCT() units.Time { return q.End - q.Start }
+
+// Collector accumulates events during a run. It is not safe for concurrent
+// use; the simulator is single-threaded by design.
+type Collector struct {
+	Flows   []FlowRecord
+	Queries []QueryRecord
+	flowIdx map[uint64]int
+
+	Drops        [numDropReasons]int64
+	DropsByClass [2]int64
+	Deflections  int64
+	ECNMarks     int64
+	PacketsSent  int64 // data packets injected by hosts (incl. retransmissions)
+	PacketsRecv  int64 // data packets delivered to their destination host
+	BytesGoodput int64 // first-delivery payload bytes
+	HopSum       int64 // hops over delivered data packets
+	Retransmits  int64
+	RTOs         int64
+	FastRetx     int64
+	ReorderPkts  int64 // data packets arriving out of order at the transport
+	OrderingHeld int64 // packets buffered by the Vertigo ordering layer
+	OrderTimeout int64 // ordering-layer timeouts fired
+	Boosted      int64 // retransmitted packets whose RFS was boosted
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{flowIdx: make(map[uint64]int)}
+}
+
+// StartFlow registers a new flow and returns its record index.
+func (c *Collector) StartFlow(rec FlowRecord) {
+	c.flowIdx[rec.ID] = len(c.Flows)
+	c.Flows = append(c.Flows, rec)
+}
+
+// EndFlow marks a flow complete at time t.
+func (c *Collector) EndFlow(id uint64, t units.Time) {
+	i, ok := c.flowIdx[id]
+	if !ok {
+		return
+	}
+	f := &c.Flows[i]
+	if f.Completed {
+		return
+	}
+	f.End = t
+	f.Completed = true
+	if f.Query >= 0 {
+		q := &c.Queries[f.Query]
+		q.Remaining--
+		if q.Remaining == 0 {
+			q.End = t
+			q.Completed = true
+		}
+	}
+}
+
+// Flow returns the record for a flow ID, or nil.
+func (c *Collector) Flow(id uint64) *FlowRecord {
+	if i, ok := c.flowIdx[id]; ok {
+		return &c.Flows[i]
+	}
+	return nil
+}
+
+// StartQuery registers an incast query and returns its ID.
+func (c *Collector) StartQuery(scale int, t units.Time) int {
+	id := len(c.Queries)
+	c.Queries = append(c.Queries, QueryRecord{ID: id, Scale: scale, Start: t, Remaining: scale})
+	return id
+}
+
+// Drop records a dropped data packet.
+func (c *Collector) Drop(reason DropReason, class FlowClass) {
+	c.Drops[reason]++
+	c.DropsByClass[class]++
+}
+
+// TotalDrops sums drops across reasons.
+func (c *Collector) TotalDrops() int64 {
+	var n int64
+	for _, d := range c.Drops {
+		n += d
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean of ts, or 0 for empty input.
+func Mean(ts []units.Time) units.Time {
+	if len(ts) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, t := range ts {
+		sum += int64(t)
+	}
+	return units.Time(sum / int64(len(ts)))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of ts using
+// nearest-rank on a sorted copy; 0 for empty input.
+func Percentile(ts []units.Time, p float64) units.Time {
+	if len(ts) == 0 {
+		return 0
+	}
+	s := make([]units.Time, len(ts))
+	copy(s, ts)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// CDFPoint is one (value, cumulative fraction) sample.
+type CDFPoint struct {
+	Value    units.Time
+	Fraction float64
+}
+
+// CDF returns up to maxPoints evenly spaced points of the empirical CDF.
+func CDF(ts []units.Time, maxPoints int) []CDFPoint {
+	if len(ts) == 0 || maxPoints <= 0 {
+		return nil
+	}
+	s := make([]units.Time, len(ts))
+	copy(s, ts)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if maxPoints > len(s) {
+		maxPoints = len(s)
+	}
+	pts := make([]CDFPoint, 0, maxPoints)
+	for i := 1; i <= maxPoints; i++ {
+		idx := i*len(s)/maxPoints - 1
+		pts = append(pts, CDFPoint{Value: s[idx], Fraction: float64(idx+1) / float64(len(s))})
+	}
+	return pts
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"vertigo/internal/units"
+)
+
+// Thresholds used by the paper's flow-size breakdowns (§2).
+const (
+	MiceMaxBytes     = 100 * 1000       // "mice" flows: < 100 KB
+	ElephantMinBytes = 10 * 1000 * 1000 // "elephant" flows: > 10 MB
+)
+
+// Summary is the digest of one simulation run: every scalar the paper's
+// tables and figures report.
+type Summary struct {
+	Duration units.Time
+
+	// Flows (all classes).
+	FlowsStarted    int
+	FlowsCompleted  int
+	FlowCompletionP float64 // percent
+	MeanFCT         units.Time
+	P99FCT          units.Time
+
+	// Mice / elephant breakdown over completed flows.
+	MeanMiceFCT     units.Time
+	ElephantGoodput units.BitRate // mean per-elephant-flow goodput
+	ElephantFlows   int
+
+	// Incast queries.
+	QueriesStarted   int
+	QueriesCompleted int
+	QueryCompletionP float64
+	MeanQCT          units.Time
+	P99QCT           units.Time
+
+	// Network counters.
+	PacketsSent    int64
+	PacketsRecv    int64
+	Drops          int64
+	DropRate       float64 // drops / data packets sent
+	Deflections    int64
+	ECNMarks       int64
+	MeanHops       float64
+	Retransmits    int64
+	RTOs           int64
+	FastRetx       int64
+	ReorderPkts    int64
+	ReorderRate    float64 // reordered / delivered
+	OverallGoodput units.BitRate
+
+	// Raw series kept for CDF figures.
+	FCTs []units.Time
+	QCTs []units.Time
+}
+
+// Summarize digests the collector at simulation end time end.
+func (c *Collector) Summarize(end units.Time) *Summary {
+	s := &Summary{Duration: end, FlowsStarted: len(c.Flows), QueriesStarted: len(c.Queries)}
+
+	var miceFCTs []units.Time
+	for i := range c.Flows {
+		f := &c.Flows[i]
+		if !f.Completed {
+			continue
+		}
+		s.FlowsCompleted++
+		fct := f.FCT()
+		s.FCTs = append(s.FCTs, fct)
+		if f.Size < MiceMaxBytes {
+			miceFCTs = append(miceFCTs, fct)
+		}
+		if f.Size > ElephantMinBytes {
+			s.ElephantFlows++
+			if fct > 0 {
+				s.ElephantGoodput += units.BitRate(8 * float64(f.Size) / fct.Seconds())
+			}
+		}
+	}
+	if s.ElephantFlows > 0 {
+		s.ElephantGoodput /= units.BitRate(s.ElephantFlows)
+	}
+	if s.FlowsStarted > 0 {
+		s.FlowCompletionP = 100 * float64(s.FlowsCompleted) / float64(s.FlowsStarted)
+	}
+	s.MeanFCT = Mean(s.FCTs)
+	s.P99FCT = Percentile(s.FCTs, 99)
+	s.MeanMiceFCT = Mean(miceFCTs)
+
+	for i := range c.Queries {
+		q := &c.Queries[i]
+		if !q.Completed {
+			continue
+		}
+		s.QueriesCompleted++
+		s.QCTs = append(s.QCTs, q.QCT())
+	}
+	if s.QueriesStarted > 0 {
+		s.QueryCompletionP = 100 * float64(s.QueriesCompleted) / float64(s.QueriesStarted)
+	}
+	s.MeanQCT = Mean(s.QCTs)
+	s.P99QCT = Percentile(s.QCTs, 99)
+
+	s.PacketsSent = c.PacketsSent
+	s.PacketsRecv = c.PacketsRecv
+	s.Drops = c.TotalDrops()
+	if c.PacketsSent > 0 {
+		s.DropRate = float64(s.Drops) / float64(c.PacketsSent)
+	}
+	s.Deflections = c.Deflections
+	s.ECNMarks = c.ECNMarks
+	if c.PacketsRecv > 0 {
+		s.MeanHops = float64(c.HopSum) / float64(c.PacketsRecv)
+		s.ReorderRate = float64(c.ReorderPkts) / float64(c.PacketsRecv)
+	}
+	s.Retransmits = c.Retransmits
+	s.RTOs = c.RTOs
+	s.FastRetx = c.FastRetx
+	s.ReorderPkts = c.ReorderPkts
+	if end > 0 {
+		// Computed in floating point: 8*bytes*1e9 overflows int64 beyond
+		// ~1.1 GB of goodput.
+		s.OverallGoodput = units.BitRate(8 * float64(c.BytesGoodput) / end.Seconds())
+	}
+	return s
+}
+
+// String renders a human-readable block, used by cmd/vertigo-sim.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "duration            %v\n", s.Duration)
+	fmt.Fprintf(&b, "flows               %d started, %d completed (%.1f%%)\n",
+		s.FlowsStarted, s.FlowsCompleted, s.FlowCompletionP)
+	fmt.Fprintf(&b, "FCT                 mean %v  p99 %v  (mice mean %v)\n",
+		s.MeanFCT, s.P99FCT, s.MeanMiceFCT)
+	fmt.Fprintf(&b, "queries             %d started, %d completed (%.1f%%)\n",
+		s.QueriesStarted, s.QueriesCompleted, s.QueryCompletionP)
+	fmt.Fprintf(&b, "QCT                 mean %v  p99 %v\n", s.MeanQCT, s.P99QCT)
+	fmt.Fprintf(&b, "packets             %d sent, %d delivered, %d dropped (%.4f%%)\n",
+		s.PacketsSent, s.PacketsRecv, s.Drops, 100*s.DropRate)
+	fmt.Fprintf(&b, "deflections         %d\n", s.Deflections)
+	fmt.Fprintf(&b, "mean hops           %.2f\n", s.MeanHops)
+	fmt.Fprintf(&b, "retransmits         %d (%d RTO, %d fast)\n", s.Retransmits, s.RTOs, s.FastRetx)
+	fmt.Fprintf(&b, "reordered pkts      %d (%.4f%%)\n", s.ReorderPkts, 100*s.ReorderRate)
+	fmt.Fprintf(&b, "goodput             %v overall, %v per elephant (%d flows)\n",
+		s.OverallGoodput, s.ElephantGoodput, s.ElephantFlows)
+	return b.String()
+}

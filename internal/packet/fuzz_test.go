@@ -1,0 +1,52 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeShim hardens the shim decoder against arbitrary wire bytes:
+// it must never panic, and any successfully decoded header must re-encode
+// to the identical bytes (canonical encoding).
+func FuzzDecodeShim(f *testing.F) {
+	var seed [ShimHeaderLen]byte
+	EncodeShim(seed[:], FlowInfo{RFS: 12345, RetCnt: 3, FlowID: 2, First: true}, 0x0800)
+	f.Add(seed[:])
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0x00, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fi, inner, err := DecodeShim(data)
+		if err != nil {
+			return
+		}
+		var out [ShimHeaderLen]byte
+		if _, err := EncodeShim(out[:], fi, inner); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out[:], data[:ShimHeaderLen]) {
+			t.Fatalf("decode/encode not canonical: %x vs %x", out, data[:ShimHeaderLen])
+		}
+	})
+}
+
+// FuzzDecodeOption does the same for the IPv4-option encoding.
+func FuzzDecodeOption(f *testing.F) {
+	var seed [OptionLen]byte
+	EncodeOption(seed[:], FlowInfo{RFS: 999, RetCnt: 1, FlowID: 7})
+	f.Add(seed[:])
+	f.Add([]byte{OptionType, OptionLen - 1, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fi, err := DecodeOption(data)
+		if err != nil {
+			return
+		}
+		var out [OptionLen]byte
+		if _, err := EncodeOption(out[:], fi); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		// Bytes 0..6 must round-trip; byte 7 is the pad we always write 0.
+		if !bytes.Equal(out[:7], data[:7]) {
+			t.Fatalf("decode/encode not canonical: %x vs %x", out[:7], data[:7])
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoostUnboostRoundTrip(t *testing.T) {
+	f := func(rfs uint32, retcntRaw uint8, factorRaw uint8) bool {
+		retcnt := retcntRaw % (MaxRetx + 1)
+		factorLog2 := uint(factorRaw%3) + 1 // factors 2x, 4x, 8x
+		boosted := rfs
+		for i := uint8(0); i < retcnt; i++ {
+			boosted = BoostRFS(boosted, factorLog2)
+		}
+		return UnboostRFS(boosted, retcnt, factorLog2) == rfs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoostHalvesEvenValues(t *testing.T) {
+	// For even RFS values below 2^31, a 2x boost is exactly a halving, which
+	// is the paper's "divide RFS by the boosting factor".
+	cases := []uint32{20000, 1460, 40000, 2, 1 << 20}
+	for _, rfs := range cases {
+		if got := BoostRFS(rfs, 1); got != rfs/2 {
+			t.Errorf("BoostRFS(%d, 1) = %d, want %d", rfs, got, rfs/2)
+		}
+	}
+}
+
+func TestOriginalRFS(t *testing.T) {
+	fi := FlowInfo{RFS: BoostRFS(BoostRFS(40000, 1), 1), RetCnt: 2}
+	if got := fi.OriginalRFS(1); got != 40000 {
+		t.Fatalf("OriginalRFS = %d, want 40000", got)
+	}
+}
+
+func TestPacketSize(t *testing.T) {
+	data := &Packet{Kind: Data, PayloadLen: MSS}
+	if got := data.Size(); got != MSS+HeaderLen {
+		t.Fatalf("data size %v, want %d", got, MSS+HeaderLen)
+	}
+	data.Marked = true
+	if got := data.Size(); got != MSS+HeaderLen+ShimHeaderLen {
+		t.Fatalf("marked data size %v, want %d", got, MSS+HeaderLen+ShimHeaderLen)
+	}
+	ack := &Packet{Kind: Ack}
+	if got := ack.Size(); got != AckLen {
+		t.Fatalf("ack size %v, want %d", got, AckLen)
+	}
+}
+
+func TestRank(t *testing.T) {
+	p := &Packet{Kind: Data, Info: FlowInfo{RFS: 1234}}
+	if p.Rank() != 0 {
+		t.Fatal("unmarked packet must rank 0")
+	}
+	p.Marked = true
+	if p.Rank() != 1234 {
+		t.Fatalf("marked packet rank %d, want 1234", p.Rank())
+	}
+}
+
+func TestEnd(t *testing.T) {
+	p := &Packet{Seq: 1000, PayloadLen: 460}
+	if p.End() != 1460 {
+		t.Fatalf("End() = %d, want 1460", p.End())
+	}
+}
+
+func TestIDGen(t *testing.T) {
+	var g IDGen
+	a, b := g.Next(), g.Next()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("IDGen produced %d, %d; want distinct non-zero", a, b)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "data" || Ack.String() != "ack" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire encodings of the flowinfo header, per paper Fig. 3. Two encodings are
+// provided:
+//
+//   - A shim layer-3 header that sits between the Ethernet header and the IP
+//     header, identified by its own EtherType. 7 bytes of overhead: a 2-byte
+//     encapsulated EtherType followed by the 5-byte flowinfo body.
+//   - An IPv4 option (type/length + 6-byte body = 8 bytes, keeping the
+//     options area 32-bit aligned as IPv4 requires).
+//
+// Both carry the same logical fields:
+//
+//	RFS     32 bits
+//	RetCnt   4 bits
+//	FlowID   3 bits
+//	FLAGS    1 bit (first-packet marker under SRPT)
+
+// Encoding sizes and identifiers.
+const (
+	ShimHeaderLen  = 7      // encapsulated EtherType (2) + body (5)
+	ShimEtherType  = 0x88B6 // local experimental EtherType for the shim header
+	OptionLen      = 8      // type (1) + length (1) + body (5) + pad (1)
+	OptionType     = 0x9E   // copy=1, class=0, number=30 (experimental)
+	flowInfoBodyLn = 5
+)
+
+// Errors returned by the decoders.
+var (
+	ErrShort     = errors.New("packet: buffer too short for flowinfo header")
+	ErrBadOption = errors.New("packet: not a flowinfo IPv4 option")
+)
+
+// putBody encodes the 5-byte flowinfo body: RFS then the packed
+// retcnt/flow-id/flags byte.
+func putBody(b []byte, f FlowInfo) {
+	binary.BigEndian.PutUint32(b[0:4], f.RFS)
+	packed := (f.RetCnt&0x0F)<<4 | (f.FlowID&0x07)<<1
+	if f.First {
+		packed |= 1
+	}
+	b[4] = packed
+}
+
+// getBody decodes the 5-byte flowinfo body.
+func getBody(b []byte) FlowInfo {
+	packed := b[4]
+	return FlowInfo{
+		RFS:    binary.BigEndian.Uint32(b[0:4]),
+		RetCnt: packed >> 4,
+		FlowID: (packed >> 1) & 0x07,
+		First:  packed&1 == 1,
+	}
+}
+
+// EncodeShim writes the shim layer-3 encoding of f into b, which must have
+// room for ShimHeaderLen bytes. innerEtherType is the EtherType of the
+// encapsulated protocol (e.g. 0x0800 for IPv4). It returns ShimHeaderLen.
+func EncodeShim(b []byte, f FlowInfo, innerEtherType uint16) (int, error) {
+	if len(b) < ShimHeaderLen {
+		return 0, ErrShort
+	}
+	binary.BigEndian.PutUint16(b[0:2], innerEtherType)
+	putBody(b[2:ShimHeaderLen], f)
+	return ShimHeaderLen, nil
+}
+
+// DecodeShim parses a shim header from b, returning the flowinfo fields and
+// the encapsulated EtherType.
+func DecodeShim(b []byte) (FlowInfo, uint16, error) {
+	if len(b) < ShimHeaderLen {
+		return FlowInfo{}, 0, ErrShort
+	}
+	inner := binary.BigEndian.Uint16(b[0:2])
+	return getBody(b[2:ShimHeaderLen]), inner, nil
+}
+
+// EncodeOption writes the IPv4-option encoding of f into b, which must have
+// room for OptionLen bytes. The final byte is an end-of-options pad so the
+// option block stays 32-bit aligned. It returns OptionLen.
+func EncodeOption(b []byte, f FlowInfo) (int, error) {
+	if len(b) < OptionLen {
+		return 0, ErrShort
+	}
+	b[0] = OptionType
+	b[1] = OptionLen - 1 // option length excludes the trailing pad byte
+	putBody(b[2:2+flowInfoBodyLn], f)
+	b[7] = 0 // EOL pad
+	return OptionLen, nil
+}
+
+// DecodeOption parses the IPv4-option encoding from b.
+func DecodeOption(b []byte) (FlowInfo, error) {
+	if len(b) < OptionLen {
+		return FlowInfo{}, ErrShort
+	}
+	if b[0] != OptionType || b[1] != OptionLen-1 {
+		return FlowInfo{}, fmt.Errorf("%w: type=%#x len=%d", ErrBadOption, b[0], b[1])
+	}
+	return getBody(b[2 : 2+flowInfoBodyLn]), nil
+}

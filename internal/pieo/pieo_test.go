@@ -1,0 +1,202 @@
+package pieo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertExtractMinOrder(t *testing.T) {
+	l := NewList[int](64)
+	ranks := []uint32{50, 10, 90, 30, 70, 20, 60}
+	for i, r := range ranks {
+		l.Insert(Item[int]{Value: i, Rank: r})
+	}
+	if l.Len() != len(ranks) {
+		t.Fatalf("len %d, want %d", l.Len(), len(ranks))
+	}
+	prev := uint32(0)
+	for l.Len() > 0 {
+		it, ok := l.ExtractMin(0)
+		if !ok {
+			t.Fatal("extract failed with elements present")
+		}
+		if it.Rank < prev {
+			t.Fatalf("extraction not ascending: %d after %d", it.Rank, prev)
+		}
+		prev = it.Rank
+	}
+	if _, ok := l.ExtractMin(0); ok {
+		t.Fatal("extract from empty list succeeded")
+	}
+}
+
+func TestEligibilityGating(t *testing.T) {
+	l := NewList[string](8)
+	l.Insert(Item[string]{Value: "later", Rank: 1, EligibleAt: 100})
+	l.Insert(Item[string]{Value: "now", Rank: 5, EligibleAt: 0})
+	// At t=0 the rank-1 element is ineligible: rank-5 must come out first.
+	it, ok := l.ExtractMin(0)
+	if !ok || it.Value != "now" {
+		t.Fatalf("got %+v, want the eligible rank-5 element", it)
+	}
+	if _, ok := l.ExtractMin(50); ok {
+		t.Fatal("ineligible element extracted")
+	}
+	it, ok = l.ExtractMin(100)
+	if !ok || it.Value != "later" {
+		t.Fatalf("got %+v at t=100", it)
+	}
+}
+
+func TestExtractTail(t *testing.T) {
+	l := NewList[int](64)
+	for i, r := range []uint32{5, 40, 20, 40} {
+		l.Insert(Item[int]{Value: i, Rank: r})
+	}
+	it, ok := l.ExtractTail()
+	if !ok || it.Rank != 40 || it.Value != 3 {
+		t.Fatalf("tail %+v, want the youngest rank-40 element (value 3)", it)
+	}
+	it, _ = l.ExtractTail()
+	if it.Rank != 40 || it.Value != 1 {
+		t.Fatalf("second tail %+v, want value 1", it)
+	}
+	if pt, ok := l.PeekTail(); !ok || pt.Rank != 20 {
+		t.Fatalf("peek tail %+v, want rank 20", pt)
+	}
+}
+
+func TestExtractWhere(t *testing.T) {
+	l := NewList[int](64)
+	for i := 0; i < 10; i++ {
+		l.Insert(Item[int]{Value: i, Rank: uint32(i)})
+	}
+	it, ok := l.ExtractWhere(func(it Item[int]) bool { return it.Value%2 == 1 })
+	if !ok || it.Value != 1 {
+		t.Fatalf("ExtractWhere got %+v, want the rank-1 odd element", it)
+	}
+	if l.Len() != 9 {
+		t.Fatalf("len %d after extraction", l.Len())
+	}
+	if _, ok := l.ExtractWhere(func(Item[int]) bool { return false }); ok {
+		t.Fatal("ExtractWhere matched nothing but succeeded")
+	}
+}
+
+func TestFIFOAmongEqualRanks(t *testing.T) {
+	l := NewList[int](256)
+	for i := 0; i < 100; i++ {
+		l.Insert(Item[int]{Value: i, Rank: 7})
+	}
+	for i := 0; i < 100; i++ {
+		it, _ := l.ExtractMin(0)
+		if it.Value != i {
+			t.Fatalf("tie order broken: got %d at %d", it.Value, i)
+		}
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	// Insert enough ascending and descending runs to force splits.
+	l := NewList[int](4) // tiny blocks: splits early
+	const n = 1000
+	for i := 0; i < n; i++ {
+		l.Insert(Item[int]{Value: i, Rank: uint32((i * 7919) % 104729)})
+	}
+	if l.Len() != n {
+		t.Fatalf("len %d, want %d", l.Len(), n)
+	}
+	items := l.Items()
+	if !sort.SliceIsSorted(items, func(i, j int) bool { return items[i].Rank < items[j].Rank }) {
+		t.Fatal("internal order violated after splits")
+	}
+}
+
+// Property: a PIEO list with always-eligible items behaves exactly like a
+// stable sort by rank.
+func TestPropertyMatchesStableSort(t *testing.T) {
+	f := func(ranks []uint32) bool {
+		l := NewList[int](len(ranks))
+		type tagged struct {
+			rank uint32
+			idx  int
+		}
+		want := make([]tagged, len(ranks))
+		for i, r := range ranks {
+			l.Insert(Item[int]{Value: i, Rank: r})
+			want[i] = tagged{r, i}
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].rank < want[j].rank })
+		for _, w := range want {
+			it, ok := l.ExtractMin(0)
+			if !ok || it.Rank != w.rank || it.Value != w.idx {
+				return false
+			}
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved ExtractMin/ExtractTail always return the current
+// min/max rank and never lose or duplicate elements.
+func TestPropertyMinTailInterleaved(t *testing.T) {
+	f := func(ranks []uint32, seed int64) bool {
+		l := NewList[int](len(ranks))
+		rng := rand.New(rand.NewSource(seed))
+		var reference []uint32
+		for _, r := range ranks {
+			l.Insert(Item[int]{Rank: r})
+			reference = append(reference, r)
+			sort.Slice(reference, func(i, j int) bool { return reference[i] < reference[j] })
+			if rng.Intn(3) == 0 && len(reference) > 0 {
+				if rng.Intn(2) == 0 {
+					it, ok := l.ExtractMin(0)
+					if !ok || it.Rank != reference[0] {
+						return false
+					}
+					reference = reference[1:]
+				} else {
+					it, ok := l.ExtractTail()
+					if !ok || it.Rank != reference[len(reference)-1] {
+						return false
+					}
+					reference = reference[:len(reference)-1]
+				}
+			}
+		}
+		return l.Len() == len(reference)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPIEOInsertExtract(b *testing.B) {
+	l := NewList[int](256)
+	// Steady state around 200 elements, like a switch port queue.
+	for i := 0; i < 200; i++ {
+		l.Insert(Item[int]{Rank: uint32(i * 2654435761)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(Item[int]{Rank: uint32(i * 2654435761)})
+		l.ExtractMin(0)
+	}
+}
+
+func BenchmarkPIEOTailExtraction(b *testing.B) {
+	l := NewList[int](256)
+	for i := 0; i < 200; i++ {
+		l.Insert(Item[int]{Rank: uint32(i * 2654435761)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(Item[int]{Rank: uint32(i * 2654435761)})
+		l.ExtractTail()
+	}
+}

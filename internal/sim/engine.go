@@ -1,0 +1,160 @@
+// Package sim implements the discrete-event simulation engine that drives
+// every experiment in this repository. The engine is single-threaded and
+// fully deterministic: events scheduled for the same instant fire in the
+// order they were scheduled, and all randomness flows from one seeded
+// source, so a (config, seed) pair always produces identical results.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"vertigo/internal/units"
+)
+
+// Handler is a callback invoked when an event fires.
+type Handler func()
+
+// event is a scheduled callback.
+type event struct {
+	at    units.Time
+	seq   uint64 // schedule order, breaks timestamp ties deterministically
+	fn    Handler
+	index int // heap index, -1 once popped
+	dead  bool
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	heap    eventHeap
+	now     units.Time
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose randomness is derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All simulation
+// components must draw randomness from here and nowhere else.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug rather than a recoverable condition.
+func (e *Engine) At(t units.Time, fn Handler) *Timer {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return &Timer{engine: e, ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn Handler) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, until Stop is
+// called, or until the next event would fire after the until deadline.
+// It returns the time at which the run ended.
+func (e *Engine) Run(until units.Time) units.Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	engine *Engine
+	ev     *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Reports whether the event was pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	if t.ev.index < 0 { // already popped (fired or about to)
+		t.ev.dead = true
+		return false
+	}
+	t.ev.dead = true
+	heap.Remove(&t.engine.heap, t.ev.index)
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index >= 0
+}
+
+// At returns the time the timer is scheduled to fire.
+func (t *Timer) At() units.Time { return t.ev.at }

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vertigo/internal/units"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var got []units.Time
+	for _, d := range []units.Time{50, 10, 30, 20, 40} {
+		d := d
+		eng.At(d, func() { got = append(got, d) })
+	}
+	eng.Run(units.Second)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		eng.At(42, func() { got = append(got, i) })
+	}
+	eng.Run(units.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order violated at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	eng := NewEngine(1)
+	var at units.Time
+	eng.At(100, func() { at = eng.Now() })
+	end := eng.Run(500)
+	if at != 100 {
+		t.Fatalf("event saw Now()=%v, want 100", at)
+	}
+	if end != 500 {
+		t.Fatalf("Run returned %v, want 500 (advance to deadline)", end)
+	}
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	eng.At(100, func() { fired++ })
+	eng.At(200, func() { fired++ })
+	eng.Run(150)
+	if fired != 1 {
+		t.Fatalf("fired %d events before deadline 150, want 1", fired)
+	}
+	if eng.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", eng.Pending())
+	}
+	eng.Run(300)
+	if fired != 2 {
+		t.Fatalf("fired %d after resume, want 2", fired)
+	}
+}
+
+func TestSchedulingDuringEvent(t *testing.T) {
+	eng := NewEngine(1)
+	var got []units.Time
+	eng.At(10, func() {
+		got = append(got, eng.Now())
+		eng.After(5, func() { got = append(got, eng.Now()) })
+		eng.At(eng.Now(), func() { got = append(got, eng.Now()) }) // same instant
+	})
+	eng.Run(units.Second)
+	want := []units.Time{10, 10, 15}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	eng := NewEngine(1)
+	eng.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(50, func() {})
+	})
+	eng.Run(units.Second)
+}
+
+func TestTimerCancel(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	tm := eng.At(100, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer not pending after scheduling")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel reported not-pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel reported pending")
+	}
+	eng.Run(units.Second)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerCancelInsideEarlierEvent(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	var tm *Timer
+	eng.At(10, func() { tm.Cancel() })
+	tm = eng.At(20, func() { fired = true })
+	eng.Run(units.Second)
+	if fired {
+		t.Fatal("timer fired despite cancellation at t=10")
+	}
+}
+
+func TestStop(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	eng.At(10, func() { fired++; eng.Stop() })
+	eng.At(20, func() { fired++ })
+	eng.Run(units.Second)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1 (Stop should halt the loop)", fired)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(7), NewEngine(7)
+	for i := 0; i < 1000; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+// Property: any set of scheduled times fires in sorted order.
+func TestPropertyFiringOrderSorted(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine(3)
+		var got []units.Time
+		for _, d := range delays {
+			d := units.Time(d)
+			eng.At(d, func() { got = append(got, d) })
+		}
+		eng.Run(units.Time(1 << 20))
+		if len(got) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		eng := NewEngine(5)
+		rng := rand.New(rand.NewSource(seed))
+		fired := make(map[int]bool)
+		timers := make([]*Timer, len(delays))
+		for i, d := range delays {
+			i := i
+			timers[i] = eng.At(units.Time(d), func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := range timers {
+			if rng.Intn(2) == 0 {
+				timers[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		eng.Run(units.Time(1 << 20))
+		for i := range delays {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventCount(t *testing.T) {
+	eng := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		eng.At(units.Time(i), func() {})
+	}
+	eng.Run(units.Second)
+	if eng.Events() != 10 {
+		t.Fatalf("Events() = %d, want 10", eng.Events())
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry_test
+
+import (
+	"strings"
+	"testing"
+
+	"vertigo/internal/core"
+	"vertigo/internal/fabric"
+	"vertigo/internal/telemetry"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+	"vertigo/internal/workload"
+)
+
+func telemetryRun(t *testing.T, policy fabric.Policy) *core.Result {
+	t.Helper()
+	cfg := core.DefaultConfig(policy, transport.DCTCP)
+	cfg.LeafSpineCfg = topo.LeafSpineConfig{
+		Spines: 2, Leaves: 4, HostsPerLeaf: 4,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	}
+	cfg.SimTime = 30 * units.Millisecond
+	cfg.BGLoad = 0.2
+	cfg.IncastScale = 8
+	cfg.IncastFlowSize = 40000
+	cfg.SetIncastLoad(0.5)
+	cfg.Telemetry = true
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMonitorObservesFabric(t *testing.T) {
+	res := telemetryRun(t, fabric.Vertigo)
+	mon := res.Telemetry
+	if mon == nil {
+		t.Fatal("no monitor attached")
+	}
+	ports := mon.Ports(res.Summary.Duration)
+	if len(ports) == 0 {
+		t.Fatal("no ports observed")
+	}
+	// The busiest port must show real utilization but never above 100%
+	// (plus jitter slack).
+	top := ports[0]
+	util := top.Utilization(res.Summary.Duration)
+	if util <= 0.05 || util > 1.1 {
+		t.Fatalf("top port utilization %.3f implausible", util)
+	}
+	if top.TxPackets == 0 || top.HighWater == 0 {
+		t.Fatalf("top port missing counters: %+v", top)
+	}
+	if mon.Delivered != res.Summary.PacketsRecv {
+		t.Fatalf("monitor delivered %d, collector says %d", mon.Delivered, res.Summary.PacketsRecv)
+	}
+}
+
+func TestMonitorSeesDeflectionsWithoutDrops(t *testing.T) {
+	// The §5 scenario: deflection hides congestion from drop counters, but
+	// the monitor still detects it via episodes and deflection histograms.
+	res := telemetryRun(t, fabric.Vertigo)
+	mon := res.Telemetry
+	if res.Summary.Deflections == 0 {
+		t.Skip("scenario produced no deflections; retune")
+	}
+	multi := int64(0)
+	for n, c := range mon.DeflectionHist {
+		if n > 0 {
+			multi += c
+		}
+	}
+	if multi == 0 {
+		t.Fatal("deflections occurred but no delivered packet shows a deflection count")
+	}
+	if len(mon.Episodes()) == 0 {
+		t.Fatal("congestion episodes not detected despite deflection activity")
+	}
+}
+
+func TestMicroburstClassification(t *testing.T) {
+	res := telemetryRun(t, fabric.ECMP)
+	mon := res.Telemetry
+	eps := mon.Episodes()
+	if len(eps) == 0 {
+		t.Fatal("no episodes under incast on ECMP")
+	}
+	micro := mon.Microbursts()
+	for _, e := range micro {
+		if e.Duration > units.Millisecond {
+			t.Fatalf("microburst longer than 1ms: %+v", e)
+		}
+	}
+	if len(micro) == 0 {
+		t.Error("incast produced no sub-millisecond congestion episodes")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	res := telemetryRun(t, fabric.Vertigo)
+	var sb strings.Builder
+	res.Telemetry.WriteReport(&sb, res.Summary.Duration, 5)
+	out := sb.String()
+	for _, want := range []string{"telemetry:", "port", "congestion episodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	t.Log("\n" + out)
+}
+
+func TestPortKeyString(t *testing.T) {
+	if (telemetry.PortKey{Switch: -1, Port: 3}).String() != "host3.nic" {
+		t.Error("host NIC key format")
+	}
+	if (telemetry.PortKey{Switch: 2, Port: 5}).String() != "s2.p5" {
+		t.Error("switch port key format")
+	}
+}
+
+func TestTracerEmitsLifecycle(t *testing.T) {
+	var buf strings.Builder
+	cfg := core.DefaultConfig(fabric.Vertigo, transport.DCTCP)
+	cfg.LeafSpineCfg = topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	}
+	cfg.SimTime = 5 * units.Millisecond
+	cfg.BGLoad = 0
+	cfg.IncastQPS = 0
+	cfg.Trace = traceOf(3)
+	cfg.PacketTrace = &buf
+	cfg.PacketTraceFlow = 1 // the first flow started gets ID 1
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.FlowsCompleted != 3 {
+		t.Fatalf("flows %d, want 3", res.Summary.FlowsCompleted)
+	}
+	out := buf.String()
+	for _, want := range []string{"enq", "tx", "deliver", "flow=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+	if strings.Contains(out, "flow=2 ") || strings.Contains(out, "flow=3 ") {
+		t.Error("flow filter leaked other flows into the trace")
+	}
+}
+
+func traceOf(n int) *workload.Trace {
+	tr := &workload.Trace{}
+	for i := 0; i < n; i++ {
+		tr.Flows = append(tr.Flows, workload.TraceFlow{
+			At: units.Time(i) * units.Microsecond, Src: i % 3, Dst: 3, Size: 30_000,
+		})
+	}
+	return tr
+}

@@ -1,0 +1,87 @@
+package topo
+
+import (
+	"fmt"
+
+	"vertigo/internal/units"
+)
+
+// FatTreeConfig parameterizes a canonical k-ary fat-tree (Al-Fares et al.):
+// k pods, each with k/2 edge and k/2 aggregation switches; (k/2)^2 core
+// switches; k/2 hosts per edge switch; all links at the same rate. The paper
+// validates on k=8 (128 servers, 80 switches, 10 Gb/s links).
+type FatTreeConfig struct {
+	K         int // must be even, >= 2
+	Rate      units.BitRate
+	LinkDelay units.Time
+}
+
+// PaperFatTree returns the paper's fat-tree validation parameters.
+func PaperFatTree() FatTreeConfig {
+	return FatTreeConfig{K: 8, Rate: 10 * units.Gbps, LinkDelay: 500 * units.Nanosecond}
+}
+
+// NewFatTree builds and finalizes a k-ary fat-tree.
+//
+// Switch IDs: edges first (pod-major: pod p edge e is p*(k/2)+e), then
+// aggregations (same pod-major layout), then cores. Host IDs follow the edge
+// layout: host h sits under edge h/(k/2).
+func NewFatTree(cfg FatTreeConfig) (*Topology, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree k must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	numEdge := k * half
+	numAgg := k * half
+	numCore := half * half
+	t := &Topology{
+		Name:        fmt.Sprintf("fattree-k%d", k),
+		NumHosts:    k * half * half,
+		NumSwitches: numEdge + numAgg + numCore,
+	}
+	edgeID := func(pod, i int) int { return pod*half + i }
+	aggID := func(pod, i int) int { return numEdge + pod*half + i }
+	coreID := func(i int) int { return numEdge + numAgg + i }
+
+	// Hosts to edge switches.
+	for h := 0; h < t.NumHosts; h++ {
+		t.Links = append(t.Links, Link{
+			A:     Endpoint{Host: true, Node: h},
+			B:     Endpoint{Node: h / half},
+			Rate:  cfg.Rate,
+			Delay: cfg.LinkDelay,
+		})
+	}
+	// Edge to aggregation within each pod (full bipartite per pod).
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				t.Links = append(t.Links, Link{
+					A:     Endpoint{Node: edgeID(pod, e)},
+					B:     Endpoint{Node: aggID(pod, a)},
+					Rate:  cfg.Rate,
+					Delay: cfg.LinkDelay,
+				})
+			}
+		}
+	}
+	// Aggregation to core: agg i of every pod connects to cores
+	// i*half .. i*half+half-1.
+	for pod := 0; pod < k; pod++ {
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				t.Links = append(t.Links, Link{
+					A:     Endpoint{Node: aggID(pod, a)},
+					B:     Endpoint{Node: coreID(a*half + c)},
+					Rate:  cfg.Rate,
+					Delay: cfg.LinkDelay,
+				})
+			}
+		}
+	}
+	if err := t.Finalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package topo
+
+import (
+	"fmt"
+
+	"vertigo/internal/units"
+)
+
+// LeafSpineConfig parameterizes a two-tier leaf-spine fabric: every leaf
+// (ToR) switch connects to every spine (core) switch, and hosts hang off the
+// leaves. The paper's large-scale topology is 4 spines, 8 leaves, 40 hosts
+// per leaf (320 servers), 10 Gb/s host links and 40 Gb/s fabric links with
+// 300 KB per-port buffers (§4.1).
+type LeafSpineConfig struct {
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	HostRate     units.BitRate
+	FabricRate   units.BitRate
+	LinkDelay    units.Time
+}
+
+// PaperLeafSpine returns the paper's evaluation topology parameters.
+func PaperLeafSpine() LeafSpineConfig {
+	return LeafSpineConfig{
+		Spines:       4,
+		Leaves:       8,
+		HostsPerLeaf: 40,
+		HostRate:     10 * units.Gbps,
+		FabricRate:   40 * units.Gbps,
+		LinkDelay:    500 * units.Nanosecond,
+	}
+}
+
+// NewLeafSpine builds and finalizes a leaf-spine topology.
+// Switch IDs: leaves are 0..Leaves-1, spines follow.
+func NewLeafSpine(cfg LeafSpineConfig) (*Topology, error) {
+	if cfg.Spines <= 0 || cfg.Leaves <= 0 || cfg.HostsPerLeaf <= 0 {
+		return nil, fmt.Errorf("topo: invalid leaf-spine config %+v", cfg)
+	}
+	t := &Topology{
+		Name:        fmt.Sprintf("leafspine-%dx%dx%d", cfg.Spines, cfg.Leaves, cfg.HostsPerLeaf),
+		NumHosts:    cfg.Leaves * cfg.HostsPerLeaf,
+		NumSwitches: cfg.Leaves + cfg.Spines,
+	}
+	// Host access links.
+	for h := 0; h < t.NumHosts; h++ {
+		leaf := h / cfg.HostsPerLeaf
+		t.Links = append(t.Links, Link{
+			A:     Endpoint{Host: true, Node: h},
+			B:     Endpoint{Node: leaf},
+			Rate:  cfg.HostRate,
+			Delay: cfg.LinkDelay,
+		})
+	}
+	// Full bipartite leaf-spine mesh.
+	for leaf := 0; leaf < cfg.Leaves; leaf++ {
+		for s := 0; s < cfg.Spines; s++ {
+			t.Links = append(t.Links, Link{
+				A:     Endpoint{Node: leaf},
+				B:     Endpoint{Node: cfg.Leaves + s},
+				Rate:  cfg.FabricRate,
+				Delay: cfg.LinkDelay,
+			})
+		}
+	}
+	if err := t.Finalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

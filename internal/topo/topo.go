@@ -1,0 +1,193 @@
+// Package topo describes datacenter topologies as hosts, switches, ports and
+// links, and computes the static shortest-path forwarding tables (FIBs) that
+// the fabric pre-populates into every switch, matching the paper's assumption
+// of pre-installed next-hop state (§3.2).
+package topo
+
+import (
+	"fmt"
+
+	"vertigo/internal/units"
+)
+
+// Endpoint names one side of a link: a port on a host or a switch.
+// Hosts have exactly one port (their NIC), so Port is always 0 for hosts.
+type Endpoint struct {
+	Host bool
+	Node int // host ID or switch ID
+	Port int // port index on the node
+}
+
+func (e Endpoint) String() string {
+	if e.Host {
+		return fmt.Sprintf("h%d", e.Node)
+	}
+	return fmt.Sprintf("s%d.p%d", e.Node, e.Port)
+}
+
+// Link is a full-duplex cable between two endpoints.
+type Link struct {
+	A, B  Endpoint
+	Rate  units.BitRate
+	Delay units.Time // one-way propagation delay
+}
+
+// Topology is an immutable description of a network. Build one with
+// NewLeafSpine or NewFatTree (or assemble Links by hand and call Finalize).
+type Topology struct {
+	Name        string
+	NumHosts    int
+	NumSwitches int
+	Links       []Link
+
+	// Derived by Finalize:
+
+	// PortPeer[sw][port] is the endpoint at the far side of each switch port.
+	PortPeer [][]Endpoint
+	// PortLink[sw][port] indexes into Links for rate/delay lookup.
+	PortLink [][]int
+	// HostPeer[h] is the switch endpoint the host NIC connects to.
+	HostPeer []Endpoint
+	// HostLink[h] indexes into Links for the host's access link.
+	HostLink []int
+	// HostToR[h] is the switch directly attached to host h.
+	HostToR []int
+	// FIB[sw][dst] lists the output ports on shortest paths from sw to host dst.
+	FIB [][][]int
+	// FabricPorts[sw] lists ports whose peer is another switch (the
+	// deflection candidate set, host-destination ports excluded).
+	FabricPorts [][]int
+	// Dist[sw][dst] is the shortest-path hop count (switch hops) to host dst.
+	Dist [][]int
+}
+
+// Ports returns the number of ports on switch sw.
+func (t *Topology) Ports(sw int) int { return len(t.PortPeer[sw]) }
+
+// Finalize assigns port numbers from the link list and computes FIBs.
+// Constructors call it; call it yourself only for hand-built topologies.
+func (t *Topology) Finalize() error {
+	if t.NumHosts == 0 || t.NumSwitches == 0 {
+		return fmt.Errorf("topo: %s has no hosts or no switches", t.Name)
+	}
+	t.PortPeer = make([][]Endpoint, t.NumSwitches)
+	t.PortLink = make([][]int, t.NumSwitches)
+	t.HostPeer = make([]Endpoint, t.NumHosts)
+	t.HostLink = make([]int, t.NumHosts)
+	t.HostToR = make([]int, t.NumHosts)
+	for i := range t.HostLink {
+		t.HostLink[i] = -1
+	}
+
+	addSwitchPort := func(sw int, peer Endpoint, link int) int {
+		t.PortPeer[sw] = append(t.PortPeer[sw], peer)
+		t.PortLink[sw] = append(t.PortLink[sw], link)
+		return len(t.PortPeer[sw]) - 1
+	}
+
+	for i := range t.Links {
+		l := &t.Links[i]
+		switch {
+		case l.A.Host && l.B.Host:
+			return fmt.Errorf("topo: link %d connects two hosts", i)
+		case l.A.Host:
+			l.B.Port = addSwitchPort(l.B.Node, l.A, i)
+			if t.HostLink[l.A.Node] != -1 {
+				return fmt.Errorf("topo: host %d has multiple links", l.A.Node)
+			}
+			t.HostPeer[l.A.Node] = l.B
+			t.HostLink[l.A.Node] = i
+			t.HostToR[l.A.Node] = l.B.Node
+		case l.B.Host:
+			l.A.Port = addSwitchPort(l.A.Node, l.B, i)
+			if t.HostLink[l.B.Node] != -1 {
+				return fmt.Errorf("topo: host %d has multiple links", l.B.Node)
+			}
+			t.HostPeer[l.B.Node] = l.A
+			t.HostLink[l.B.Node] = i
+			t.HostToR[l.B.Node] = l.A.Node
+		default:
+			// Switch-to-switch: assign both ports, then patch peers to carry
+			// the assigned port numbers.
+			pa := addSwitchPort(l.A.Node, l.B, i)
+			pb := addSwitchPort(l.B.Node, l.A, i)
+			l.A.Port, l.B.Port = pa, pb
+			t.PortPeer[l.A.Node][pa] = Endpoint{Node: l.B.Node, Port: pb}
+			t.PortPeer[l.B.Node][pb] = Endpoint{Node: l.A.Node, Port: pa}
+		}
+	}
+	for h, li := range t.HostLink {
+		if li == -1 {
+			return fmt.Errorf("topo: host %d is not connected", h)
+		}
+	}
+
+	t.FabricPorts = make([][]int, t.NumSwitches)
+	for sw := range t.PortPeer {
+		for p, peer := range t.PortPeer[sw] {
+			if !peer.Host {
+				t.FabricPorts[sw] = append(t.FabricPorts[sw], p)
+			}
+		}
+	}
+
+	t.buildFIB()
+	return nil
+}
+
+// buildFIB runs a reverse BFS from every destination host across the switch
+// graph and records, per switch, every port that lies on a shortest path.
+func (t *Topology) buildFIB() {
+	t.FIB = make([][][]int, t.NumSwitches)
+	t.Dist = make([][]int, t.NumSwitches)
+	for sw := range t.FIB {
+		t.FIB[sw] = make([][]int, t.NumHosts)
+		t.Dist[sw] = make([]int, t.NumHosts)
+	}
+
+	// Switch adjacency: neighbor switch -> connecting ports.
+	type adj struct{ sw, port int }
+	neighbors := make([][]adj, t.NumSwitches)
+	for sw := range t.PortPeer {
+		for p, peer := range t.PortPeer[sw] {
+			if !peer.Host {
+				neighbors[sw] = append(neighbors[sw], adj{peer.Node, p})
+			}
+		}
+	}
+
+	dist := make([]int, t.NumSwitches)
+	queue := make([]int, 0, t.NumSwitches)
+	for dst := 0; dst < t.NumHosts; dst++ {
+		tor := t.HostToR[dst]
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[tor] = 0
+		queue = append(queue[:0], tor)
+		for len(queue) > 0 {
+			sw := queue[0]
+			queue = queue[1:]
+			for _, n := range neighbors[sw] {
+				if dist[n.sw] == -1 {
+					dist[n.sw] = dist[sw] + 1
+					queue = append(queue, n.sw)
+				}
+			}
+		}
+		for sw := 0; sw < t.NumSwitches; sw++ {
+			t.Dist[sw][dst] = dist[sw] + 1 // +1 for the final host hop
+			if sw == tor {
+				t.FIB[sw][dst] = []int{t.HostPeer[dst].Port}
+				continue
+			}
+			var ports []int
+			for _, n := range neighbors[sw] {
+				if dist[n.sw] >= 0 && dist[n.sw] == dist[sw]-1 {
+					ports = append(ports, n.port)
+				}
+			}
+			t.FIB[sw][dst] = ports
+		}
+	}
+}

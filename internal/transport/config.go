@@ -1,0 +1,125 @@
+// Package transport implements the packet-granular transport protocols the
+// paper runs over each fabric: TCP Reno, DCTCP and Swift. Senders are
+// ACK-clocked window-based state machines (Swift adds pacing and fractional
+// windows); receivers generate per-packet cumulative ACKs with ECN echo.
+package transport
+
+import (
+	"fmt"
+
+	"vertigo/internal/units"
+)
+
+// Protocol selects the congestion control algorithm.
+type Protocol int
+
+// Protocols.
+const (
+	Reno Protocol = iota
+	DCTCP
+	Swift
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case Reno:
+		return "tcp"
+	case DCTCP:
+		return "dctcp"
+	case Swift:
+		return "swift"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol converts a name ("tcp", "dctcp", "swift") to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "tcp", "reno":
+		return Reno, nil
+	case "dctcp":
+		return DCTCP, nil
+	case "swift":
+		return Swift, nil
+	}
+	return 0, fmt.Errorf("transport: unknown protocol %q", s)
+}
+
+// SwiftParams are the delay-target knobs of Swift (Kumar et al., SIGCOMM'20
+// Algorithm 1), scaled to this simulator's microsecond-RTT fabrics.
+type SwiftParams struct {
+	BaseTarget    units.Time // fixed component of the target delay
+	PerHopScale   units.Time // per-switch-hop addition to the target
+	AI            float64    // additive increase, packets per RTT
+	Beta          float64    // multiplicative-decrease sensitivity
+	MaxMDF        float64    // largest per-decision multiplicative decrease
+	FSRange       units.Time // flow-scaling range added for tiny cwnds
+	FSMinCwnd     float64    // cwnd at which flow scaling maxes out
+	MinCwnd       float64    // floor (fractional: pacing below 1)
+	MaxCwnd       float64
+	RetxResetCwnd float64 // cwnd after an RTO
+	// RetxResetThreshold collapses cwnd to MinCwnd after this many
+	// consecutive retransmission events without forward progress
+	// (Swift Algorithm 1's RETX_RESET_THRESHOLD).
+	RetxResetThreshold int
+}
+
+// DefaultSwiftParams follows the paper's guidance ([47]) with targets sized
+// for the ~10 µs base RTTs of the simulated fabrics.
+func DefaultSwiftParams() SwiftParams {
+	return SwiftParams{
+		BaseTarget:         25 * units.Microsecond,
+		PerHopScale:        time1µs(),
+		AI:                 1.0,
+		Beta:               0.8,
+		MaxMDF:             0.5,
+		FSRange:            100 * units.Microsecond,
+		FSMinCwnd:          0.1,
+		MinCwnd:            0.001,
+		MaxCwnd:            256,
+		RetxResetCwnd:      0.25,
+		RetxResetThreshold: 5,
+	}
+}
+
+func time1µs() units.Time { return units.Microsecond }
+
+// Config parameterizes one connection. Defaults mirror the paper's §4.1:
+// initial window 10, initial RTO 1 s, minRTO 10 ms.
+type Config struct {
+	Protocol Protocol
+
+	InitWindow float64
+	// MaxWindow caps the congestion window in packets, standing in for the
+	// peer's advertised receive window.
+	MaxWindow       float64
+	InitRTO         units.Time
+	MinRTO          units.Time
+	MaxRTO          units.Time
+	DupAckThreshold int
+	// FastRetransmit may be disabled; DIBS runs DCTCP with fast retransmit
+	// off to tolerate deflection-induced reordering (paper §2).
+	FastRetransmit bool
+
+	// DCTCPGain is DCTCP's alpha EWMA gain g (default 1/16).
+	DCTCPGain float64
+
+	Swift SwiftParams
+}
+
+// DefaultConfig returns the paper's default settings for a protocol.
+func DefaultConfig(p Protocol) Config {
+	return Config{
+		Protocol:        p,
+		InitWindow:      10,
+		MaxWindow:       1024,
+		InitRTO:         1 * units.Second,
+		MinRTO:          10 * units.Millisecond,
+		MaxRTO:          4 * units.Second,
+		DupAckThreshold: 3,
+		FastRetransmit:  true,
+		DCTCPGain:       1.0 / 16,
+		Swift:           DefaultSwiftParams(),
+	}
+}

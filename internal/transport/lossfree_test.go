@@ -1,0 +1,56 @@
+package transport_test
+
+import (
+	"testing"
+
+	"vertigo/internal/core"
+	"vertigo/internal/fabric"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// TestLossFreeTransportInvariants pins the regression that once shipped a
+// sender resending every segment: in a Vertigo run with zero drops and zero
+// deflections, the transport must see no retransmissions, no RTOs, and —
+// because the ordering layer hides SRPT queue inversion — no reordering.
+func TestLossFreeTransportInvariants(t *testing.T) {
+	transport.SetDebugRTO(func(flow uint64, sndUna, nextSeq int64, now, rto units.Time, dup int) {
+		t.Errorf("unexpected RTO: t=%v flow=%d sndUna=%d nextSeq=%d rto=%v dupAcks=%d",
+			now, flow, sndUna, nextSeq, rto, dup)
+	})
+	defer transport.SetDebugRTO(nil)
+
+	cfg := core.DefaultConfig(fabric.Vertigo, transport.DCTCP)
+	cfg.LeafSpineCfg = topo.LeafSpineConfig{
+		Spines: 2, Leaves: 4, HostsPerLeaf: 4,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	}
+	cfg.SimTime = 50 * units.Millisecond
+	cfg.BGLoad = 0
+	cfg.IncastQPS = 50 // sparse queries: bursts fit in the ToR buffer
+	cfg.IncastScale = 8
+	cfg.IncastFlowSize = 20000
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Collector
+	if c.TotalDrops() != 0 || c.Deflections != 0 {
+		t.Fatalf("scenario no longer loss-free: drops=%d deflections=%d (retune the test)",
+			c.TotalDrops(), c.Deflections)
+	}
+	if c.Retransmits != 0 {
+		t.Errorf("spurious retransmissions in a loss-free run: %d", c.Retransmits)
+	}
+	if c.ReorderPkts != 0 {
+		t.Errorf("transport saw %d reordered packets despite the ordering layer", c.ReorderPkts)
+	}
+	if c.OrderTimeout != 0 {
+		t.Errorf("ordering layer timed out %d times without loss", c.OrderTimeout)
+	}
+	if res.Summary.QueriesCompleted == 0 {
+		t.Error("no queries completed")
+	}
+}

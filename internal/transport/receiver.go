@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"vertigo/internal/host"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/units"
+)
+
+// Receiver is the receive side of one connection: it reassembles the byte
+// stream, generates a cumulative ACK for every data packet (echoing ECN
+// marks, timestamps and hop counts), and reports flow completion to the
+// metrics collector the moment the last byte arrives.
+type Receiver struct {
+	h   *host.Host
+	met *metrics.Collector
+	ids *packet.IDGen
+
+	flow     uint64
+	peer     int // sending host
+	self     int
+	size     int64
+	recvNext int64      // next in-order byte expected
+	ooo      []interval // out-of-order received ranges, sorted, disjoint
+	maxEnd   int64      // highest byte offset seen (reordering detection)
+	done     bool
+}
+
+type interval struct{ lo, hi int64 }
+
+// NewReceiver builds a receiver from the first data packet of a flow and
+// returns its packet handler, matching host.Acceptor's contract.
+func NewReceiver(h *host.Host, met *metrics.Collector, ids *packet.IDGen, first *packet.Packet) func(*packet.Packet) {
+	r := &Receiver{
+		h:    h,
+		met:  met,
+		ids:  ids,
+		flow: first.Flow,
+		peer: first.Src,
+		self: first.Dst,
+		size: first.FlowSize,
+	}
+	return r.onData
+}
+
+// Received returns the count of in-order bytes received so far.
+func (r *Receiver) Received() int64 { return r.recvNext }
+
+func (r *Receiver) onData(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	// Reordering at the transport: the packet arrived after bytes beyond it.
+	if p.Seq < r.maxEnd {
+		r.met.ReorderPkts++
+	}
+	if p.End() > r.maxEnd {
+		r.maxEnd = p.End()
+	}
+	fresh := r.admit(p.Seq, p.End())
+	r.met.BytesGoodput += fresh
+	if !r.done && r.recvNext >= r.size {
+		r.done = true
+		r.met.EndFlow(r.flow, r.h.Eng.Now())
+	}
+	r.sendAck(p)
+}
+
+// admit merges [lo,hi) into the received set, advances recvNext across any
+// now-contiguous ranges, and returns the number of newly covered bytes.
+func (r *Receiver) admit(lo, hi int64) int64 {
+	if lo < r.recvNext {
+		lo = r.recvNext
+	}
+	if hi <= lo {
+		return 0
+	}
+	// Count uncovered bytes: the span minus its intersection with each
+	// existing (disjoint) interval.
+	fresh := hi - lo
+	for _, iv := range r.ooo {
+		fresh -= overlap(interval{lo, hi}, iv)
+	}
+	// Merge [lo,hi) into the sorted disjoint set.
+	cur := interval{lo, hi}
+	out := make([]interval, 0, len(r.ooo)+1)
+	inserted := false
+	for _, iv := range r.ooo {
+		switch {
+		case iv.hi < cur.lo: // strictly before (adjacent ranges coalesce below)
+			out = append(out, iv)
+		case cur.hi < iv.lo:
+			if !inserted {
+				out = append(out, cur)
+				inserted = true
+			}
+			out = append(out, iv)
+		default: // overlapping or touching: fold into cur
+			if iv.lo < cur.lo {
+				cur.lo = iv.lo
+			}
+			if iv.hi > cur.hi {
+				cur.hi = iv.hi
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, cur)
+	}
+	r.ooo = out
+	// Advance the cumulative pointer over a now-contiguous prefix.
+	for len(r.ooo) > 0 && r.ooo[0].lo <= r.recvNext {
+		if r.ooo[0].hi > r.recvNext {
+			r.recvNext = r.ooo[0].hi
+		}
+		r.ooo = r.ooo[1:]
+	}
+	return fresh
+}
+
+// overlap returns the byte overlap of two intervals.
+func overlap(a, b interval) int64 {
+	lo, hi := a.lo, a.hi
+	if b.lo > lo {
+		lo = b.lo
+	}
+	if b.hi < hi {
+		hi = b.hi
+	}
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+func (r *Receiver) sendAck(data *packet.Packet) {
+	now := r.h.Eng.Now()
+	var proc units.Time
+	if data.RxAt > 0 {
+		// Host processing time (dominated by any ordering-layer hold): the
+		// NIC timestamps let Swift subtract it from the RTT, as deployed
+		// Swift does with hardware timestamps.
+		proc = now - data.RxAt
+	}
+	ack := &packet.Packet{
+		ID:       r.ids.Next(),
+		Kind:     packet.Ack,
+		Src:      r.self,
+		Dst:      r.peer,
+		Flow:     r.flow,
+		AckSeq:   r.recvNext,
+		ECE:      data.CE && data.ECNCapable,
+		EchoTx:   data.TxAt,
+		EchoProc: proc,
+		EchoHops: data.Hops,
+		Incast:   data.Incast,
+		TxAt:     now,
+	}
+	r.h.Send(ack)
+}

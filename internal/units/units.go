@@ -1,0 +1,116 @@
+// Package units provides the time, size and rate arithmetic used throughout
+// the simulator. Simulated time is an integer nanosecond count so that runs
+// are exactly reproducible; rates are bits per second.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats t with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0s"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", t/Second)
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// FromDuration converts a wall-clock duration to simulated Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// ByteSize is a byte count.
+type ByteSize int64
+
+// Common sizes.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1000 * Byte
+	MB   ByteSize = 1000 * KB
+	GB   ByteSize = 1000 * MB
+	KiB  ByteSize = 1024 * Byte
+	MiB  ByteSize = 1024 * KiB
+)
+
+// String formats b with an adaptive unit.
+func (b ByteSize) String() string {
+	switch {
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// BitRate is a link or flow rate in bits per second.
+type BitRate int64
+
+// Common rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps         BitRate = 1000 * BitPerSecond
+	Mbps         BitRate = 1000 * Kbps
+	Gbps         BitRate = 1000 * Mbps
+)
+
+// String formats r with an adaptive unit.
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.2fKbps", float64(r)/float64(Kbps))
+	}
+	return fmt.Sprintf("%dbps", int64(r))
+}
+
+// TxTime returns the serialization delay of n bytes at rate r.
+// It rounds up to a whole nanosecond so a transmission never takes zero time.
+func (r BitRate) TxTime(n ByteSize) Time {
+	if r <= 0 {
+		panic("units: non-positive bit rate")
+	}
+	if n <= 0 {
+		return 0
+	}
+	bits := int64(n) * 8
+	t := (bits*int64(Second) + int64(r) - 1) / int64(r)
+	return Time(t)
+}
+
+// BytesIn returns how many whole bytes rate r delivers in duration d.
+func (r BitRate) BytesIn(d Time) ByteSize {
+	if d <= 0 {
+		return 0
+	}
+	return ByteSize(int64(r) * int64(d) / (8 * int64(Second)))
+}

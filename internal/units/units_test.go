@@ -1,0 +1,133 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTxTime(t *testing.T) {
+	cases := []struct {
+		rate BitRate
+		n    ByteSize
+		want Time
+	}{
+		{10 * Gbps, 1500, 1200},
+		{40 * Gbps, 1500, 300},
+		{10 * Gbps, 0, 0},
+		{10 * Gbps, 1, 1}, // 0.8ns rounds up
+		{1 * Gbps, 1500, 12000},
+		{100 * Gbps, 1500, 120},
+	}
+	for _, c := range cases {
+		if got := c.rate.TxTime(c.n); got != c.want {
+			t.Errorf("TxTime(%v, %v) = %v, want %v", c.rate, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTxTimeNeverZeroForPositiveBytes(t *testing.T) {
+	f := func(nRaw uint16, rateRaw uint8) bool {
+		n := ByteSize(nRaw) + 1
+		rate := BitRate(int(rateRaw)+1) * Gbps
+		return rate.TxTime(n) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TxTime with zero rate did not panic")
+		}
+	}()
+	BitRate(0).TxTime(100)
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (10 * Gbps).BytesIn(Microsecond); got != 1250 {
+		t.Fatalf("10Gbps over 1µs = %v bytes, want 1250", got)
+	}
+	if got := (10 * Gbps).BytesIn(-5); got != 0 {
+		t.Fatalf("negative duration yields %v, want 0", got)
+	}
+}
+
+func TestBytesInTxTimeRoundTrip(t *testing.T) {
+	// TxTime rounds up, so transmitting for TxTime(n) always moves >= n bytes.
+	f := func(nRaw uint16, rateRaw uint8) bool {
+		n := ByteSize(nRaw) + 1
+		rate := BitRate(int(rateRaw)+1) * Gbps
+		return rate.BytesIn(rate.TxTime(n)) >= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{Second, "1s"},
+		{5 * Second, "5s"},
+		{1500 * Microsecond, "1.500ms"},
+		{250 * Microsecond, "250.000µs"},
+		{42, "42ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeSecondsAndDuration(t *testing.T) {
+	if s := (2500 * Millisecond).Seconds(); s != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", s)
+	}
+	if d := (3 * Microsecond).Duration(); d != 3*time.Microsecond {
+		t.Fatalf("Duration() = %v, want 3µs", d)
+	}
+	if ft := FromDuration(time.Millisecond); ft != Millisecond {
+		t.Fatalf("FromDuration = %v, want 1ms", ft)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{500, "500B"},
+		{1500, "1.50KB"},
+		{3 * MB, "3.00MB"},
+		{2 * GB, "2.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{500, "500bps"},
+		{10 * Gbps, "10.00Gbps"},
+		{25 * Mbps, "25.00Mbps"},
+		{3 * Kbps, "3.00Kbps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

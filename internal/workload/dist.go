@@ -1,0 +1,149 @@
+// Package workload generates the paper's traffic: background flows drawn
+// from published datacenter flow-size distributions (Facebook cache
+// follower, Facebook data mining, Google web search) with Poisson arrivals,
+// and the incast query application that creates microbursts (§4.1).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SizeDist is an empirical flow-size distribution: a piecewise-linear CDF
+// over bytes, sampled by inverse transform.
+type SizeDist struct {
+	Name  string
+	sizes []float64 // ascending byte values
+	cdf   []float64 // matching cumulative probabilities, ending at 1
+	mean  float64
+}
+
+// NewSizeDist builds a distribution from (bytes, cumulative-probability)
+// points. Points must be ascending in both coordinates and end with
+// probability 1.
+func NewSizeDist(name string, points [][2]float64) (*SizeDist, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: distribution %q needs at least 2 points", name)
+	}
+	d := &SizeDist{Name: name}
+	for i, pt := range points {
+		if i > 0 && (pt[0] < points[i-1][0] || pt[1] < points[i-1][1]) {
+			return nil, fmt.Errorf("workload: distribution %q not monotone at point %d", name, i)
+		}
+		d.sizes = append(d.sizes, pt[0])
+		d.cdf = append(d.cdf, pt[1])
+	}
+	if last := d.cdf[len(d.cdf)-1]; last != 1 {
+		return nil, fmt.Errorf("workload: distribution %q CDF ends at %v, want 1", name, last)
+	}
+	// Mean of the piecewise-linear CDF: within each linear segment the mass
+	// d.cdf[i+1]-d.cdf[i] is uniform over [sizes[i], sizes[i+1]].
+	for i := 0; i+1 < len(d.sizes); i++ {
+		mass := d.cdf[i+1] - d.cdf[i]
+		d.mean += mass * (d.sizes[i] + d.sizes[i+1]) / 2
+	}
+	return d, nil
+}
+
+// MeanBytes returns the distribution mean in bytes.
+func (d *SizeDist) MeanBytes() float64 { return d.mean }
+
+// Sample draws one flow size (at least 1 byte).
+func (d *SizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i == 0 {
+		i = 1
+	}
+	if i >= len(d.cdf) {
+		i = len(d.cdf) - 1
+	}
+	lo, hi := d.sizes[i-1], d.sizes[i]
+	clo, chi := d.cdf[i-1], d.cdf[i]
+	v := lo
+	if chi > clo {
+		v = lo + (hi-lo)*(u-clo)/(chi-clo)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// mustDist panics on construction errors in the package's own tables.
+func mustDist(name string, points [][2]float64) *SizeDist {
+	d, err := NewSizeDist(name, points)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// The three background workloads the paper samples ([6],[62]). The raw rack
+// traces are proprietary; these piecewise CDFs follow the published
+// distributions (see DESIGN.md, substitutions).
+var (
+	// CacheFollower is Facebook's cache-follower workload: mice-dominated,
+	// with half of the flows under 24 KB (paper §4.2).
+	CacheFollower = mustDist("cachefollower", [][2]float64{
+		{70, 0},
+		{150, 0.07},
+		{350, 0.15},
+		{1_000, 0.3},
+		{3_000, 0.4},
+		{10_000, 0.43},
+		{24_000, 0.5},
+		{100_000, 0.8},
+		{300_000, 0.9},
+		{1_000_000, 0.95},
+		{5_000_000, 0.99},
+		{30_000_000, 1},
+	})
+
+	// DataMining is Facebook's Hadoop/data-mining workload: heavy-tailed,
+	// dominated by large flows.
+	DataMining = mustDist("datamining", [][2]float64{
+		{80, 0},
+		{200, 0.05},
+		{400, 0.15},
+		{1_000, 0.3},
+		{3_000, 0.45},
+		{10_000, 0.55},
+		{100_000, 0.65},
+		{1_000_000, 0.75},
+		{10_000_000, 0.85},
+		{30_000_000, 0.95},
+		{100_000_000, 1},
+	})
+
+	// WebSearch is Google's web-search workload (the DCTCP benchmark
+	// distribution): bimodal with a substantial large-flow tail.
+	WebSearch = mustDist("websearch", [][2]float64{
+		{6_000, 0},
+		{10_000, 0.15},
+		{20_000, 0.2},
+		{30_000, 0.3},
+		{50_000, 0.4},
+		{80_000, 0.53},
+		{200_000, 0.6},
+		{1_000_000, 0.7},
+		{2_000_000, 0.8},
+		{5_000_000, 0.9},
+		{10_000_000, 0.97},
+		{30_000_000, 1},
+	})
+)
+
+// DistByName resolves a workload name.
+func DistByName(name string) (*SizeDist, error) {
+	switch name {
+	case "cachefollower", "cache-follower":
+		return CacheFollower, nil
+	case "datamining", "data-mining":
+		return DataMining, nil
+	case "websearch", "web-search":
+		return WebSearch, nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q", name)
+}

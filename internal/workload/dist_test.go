@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinDistributions(t *testing.T) {
+	for _, d := range []*SizeDist{CacheFollower, DataMining, WebSearch} {
+		if d.MeanBytes() <= 0 {
+			t.Errorf("%s: non-positive mean", d.Name)
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 10000; i++ {
+			v := d.Sample(rng)
+			if v < 1 {
+				t.Fatalf("%s: sample %d < 1", d.Name, v)
+			}
+			if v > int64(d.sizes[len(d.sizes)-1])+1 {
+				t.Fatalf("%s: sample %d beyond distribution max", d.Name, v)
+			}
+		}
+	}
+}
+
+func TestCacheFollowerIsMiceDominated(t *testing.T) {
+	// Paper §4.2: half the cache-follower flows are under 24 KB.
+	rng := rand.New(rand.NewSource(2))
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if CacheFollower.Sample(rng) <= 24_000 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("cache-follower P(size<=24KB) = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSampleMeanMatchesAnalyticMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []*SizeDist{CacheFollower, WebSearch} {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		got := sum / n
+		want := d.MeanBytes()
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("%s: sample mean %.0f vs analytic %.0f", d.Name, got, want)
+		}
+	}
+}
+
+func TestNewSizeDistValidation(t *testing.T) {
+	if _, err := NewSizeDist("x", [][2]float64{{1, 0}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewSizeDist("x", [][2]float64{{1, 0}, {2, 0.5}}); err == nil {
+		t.Error("CDF not ending at 1 accepted")
+	}
+	if _, err := NewSizeDist("x", [][2]float64{{5, 0}, {2, 1}}); err == nil {
+		t.Error("non-monotone sizes accepted")
+	}
+	if _, err := NewSizeDist("x", [][2]float64{{1, 0.5}, {2, 0.2}, {3, 1}}); err == nil {
+		t.Error("non-monotone CDF accepted")
+	}
+}
+
+func TestDistByName(t *testing.T) {
+	for _, name := range []string{"cachefollower", "datamining", "websearch", "web-search"} {
+		if _, err := DistByName(name); err != nil {
+			t.Errorf("DistByName(%q): %v", name, err)
+		}
+	}
+	if _, err := DistByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// Property: samples are always within the distribution's support.
+func TestPropertySampleInSupport(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			v := WebSearch.Sample(rng)
+			if v < 1 || float64(v) > WebSearch.sizes[len(WebSearch.sizes)-1]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

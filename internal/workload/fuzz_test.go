@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace hardens the trace parser: arbitrary text must never panic,
+// and accepted traces must be internally consistent (sorted, positive sizes,
+// no self-flows).
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0,0,1,100\n")
+	f.Add("# comment\n\n5,2,3,999\n1,0,1,10\n")
+	f.Add(",,,\n")
+	f.Add("a,b,c,d\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for i, fl := range tr.Flows {
+			if fl.Size <= 0 || fl.Src == fl.Dst || fl.At < 0 {
+				t.Fatalf("accepted invalid flow %+v", fl)
+			}
+			if i > 0 && fl.At < tr.Flows[i-1].At {
+				t.Fatal("accepted trace not sorted")
+			}
+		}
+	})
+}

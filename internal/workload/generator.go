@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"math"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+// FlowStarter launches one flow; the core wires it to a transport sender.
+// query is the owning incast query ID, or -1 for background flows.
+type FlowStarter func(src, dst int, size int64, incast bool, query int)
+
+// expInterval draws an exponential inter-arrival for a Poisson process with
+// the given mean rate (events per second).
+func expInterval(eng *sim.Engine, perSecond float64) units.Time {
+	if perSecond <= 0 {
+		return units.Time(math.MaxInt64 / 4)
+	}
+	d := eng.Rand().ExpFloat64() / perSecond
+	t := units.Time(d * float64(units.Second))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Background generates all-to-all background flows: Poisson arrivals at an
+// aggregate rate chosen so the expected offered load equals a fraction of
+// the hosts' total access-link capacity, with sizes from an empirical
+// distribution — the paper's background traffic model (§4.1).
+type Background struct {
+	Eng      *sim.Engine
+	Hosts    int
+	Dist     *SizeDist
+	HostRate units.BitRate
+	Load     float64 // fraction of aggregate host capacity, e.g. 0.5
+	Start    FlowStarter
+
+	rate float64 // flows per second
+}
+
+// Rate returns the aggregate flow arrival rate in flows per second.
+func (b *Background) Rate() float64 { return b.rate }
+
+// Run starts the arrival process; it self-perpetuates until the deadline.
+func (b *Background) Run(until units.Time) {
+	if b.Load <= 0 || b.Hosts < 2 {
+		return
+	}
+	capacityBps := float64(b.HostRate) * float64(b.Hosts)
+	b.rate = b.Load * capacityBps / (8 * b.Dist.MeanBytes())
+	b.next(until)
+}
+
+func (b *Background) next(until units.Time) {
+	at := b.Eng.Now() + expInterval(b.Eng, b.rate)
+	if at > until {
+		return
+	}
+	b.Eng.At(at, func() {
+		rng := b.Eng.Rand()
+		src := rng.Intn(b.Hosts)
+		dst := rng.Intn(b.Hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		b.Start(src, dst, b.Dist.Sample(rng), false, -1)
+		b.next(until)
+	})
+}
+
+// Incast generates the paper's microburst application: at rate QPS, a random
+// client queries Scale random servers, each of which responds with FlowSize
+// bytes; the query completes when every response flow finishes (§4.1).
+type Incast struct {
+	Eng      *sim.Engine
+	Met      *metrics.Collector
+	Hosts    int
+	QPS      float64
+	Scale    int
+	FlowSize int64
+	// Periodic fires queries at fixed 1/QPS intervals (the §2 incast app
+	// sends "at predefined intervals"); the default is Poisson arrivals.
+	Periodic bool
+	// RequestDelay models the query packet's trip from client to servers.
+	RequestDelay units.Time
+	Start        FlowStarter
+}
+
+// Load returns the incast traffic's offered load as a fraction of aggregate
+// host access capacity.
+func (ic *Incast) Load(hostRate units.BitRate) float64 {
+	return ic.QPS * float64(ic.Scale) * float64(ic.FlowSize) * 8 /
+		(float64(hostRate) * float64(ic.Hosts))
+}
+
+// QPSForLoad returns the query rate that offers the given load fraction.
+func QPSForLoad(load float64, hosts, scale int, flowSize int64, hostRate units.BitRate) float64 {
+	if scale <= 0 || flowSize <= 0 {
+		return 0
+	}
+	return load * float64(hostRate) * float64(hosts) / (float64(scale) * float64(flowSize) * 8)
+}
+
+// Run starts the query process; it self-perpetuates until the deadline.
+func (ic *Incast) Run(until units.Time) {
+	if ic.QPS <= 0 || ic.Scale <= 0 || ic.Hosts < 2 {
+		return
+	}
+	ic.next(until)
+}
+
+func (ic *Incast) next(until units.Time) {
+	var gap units.Time
+	if ic.Periodic {
+		gap = units.Time(float64(units.Second) / ic.QPS)
+		if gap < 1 {
+			gap = 1
+		}
+	} else {
+		gap = expInterval(ic.Eng, ic.QPS)
+	}
+	at := ic.Eng.Now() + gap
+	if at > until {
+		return
+	}
+	ic.Eng.At(at, func() {
+		ic.fire()
+		ic.next(until)
+	})
+}
+
+// fire launches one query now.
+func (ic *Incast) fire() {
+	rng := ic.Eng.Rand()
+	client := rng.Intn(ic.Hosts)
+	scale := ic.Scale
+	if scale > ic.Hosts-1 {
+		scale = ic.Hosts - 1
+	}
+	query := ic.Met.StartQuery(scale, ic.Eng.Now())
+	// Sample `scale` distinct servers != client by partial Fisher-Yates over
+	// the host range with the client swapped out.
+	perm := rng.Perm(ic.Hosts)
+	picked := 0
+	for _, s := range perm {
+		if s == client {
+			continue
+		}
+		server := s
+		ic.Eng.After(ic.RequestDelay, func() {
+			ic.Start(server, client, ic.FlowSize, true, query)
+		})
+		picked++
+		if picked == scale {
+			break
+		}
+	}
+}

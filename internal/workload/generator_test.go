@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+func TestBackgroundOffersConfiguredLoad(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var bytes int64
+	flows := 0
+	bg := &Background{
+		Eng:      eng,
+		Hosts:    64,
+		Dist:     CacheFollower,
+		HostRate: 10 * units.Gbps,
+		Load:     0.5,
+		Start: func(src, dst int, size int64, incast bool, query int) {
+			if src == dst {
+				t.Fatal("background flow to self")
+			}
+			if incast || query != -1 {
+				t.Fatal("background flow marked as incast")
+			}
+			bytes += size
+			flows++
+		},
+	}
+	const horizon = 200 * units.Millisecond
+	bg.Run(horizon)
+	eng.Run(horizon)
+	if flows == 0 {
+		t.Fatal("no background flows generated")
+	}
+	offered := float64(bytes) * 8 / horizon.Seconds()
+	want := 0.5 * float64(10*units.Gbps) * 64
+	if offered < want*0.8 || offered > want*1.2 {
+		t.Errorf("offered %.3g bps, want ~%.3g (50%% of 64x10G)", offered, want)
+	}
+}
+
+func TestBackgroundZeroLoadGeneratesNothing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bg := &Background{
+		Eng: eng, Hosts: 8, Dist: CacheFollower, HostRate: 10 * units.Gbps,
+		Load:  0,
+		Start: func(int, int, int64, bool, int) { t.Fatal("flow at zero load") },
+	}
+	bg.Run(units.Second)
+	eng.Run(units.Second)
+}
+
+func TestIncastQueryStructure(t *testing.T) {
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	type flow struct{ src, dst int }
+	flowsByQuery := make(map[int][]flow)
+	ic := &Incast{
+		Eng: eng, Met: met, Hosts: 32,
+		QPS: 1000, Scale: 10, FlowSize: 40000,
+		RequestDelay: 5 * units.Microsecond,
+		Start: func(src, dst int, size int64, incast bool, query int) {
+			if !incast || size != 40000 {
+				t.Fatalf("bad incast flow: incast=%v size=%d", incast, size)
+			}
+			flowsByQuery[query] = append(flowsByQuery[query], flow{src, dst})
+		},
+	}
+	const horizon = 100 * units.Millisecond
+	ic.Run(horizon)
+	eng.Run(horizon + units.Second)
+	if len(met.Queries) == 0 {
+		t.Fatal("no queries generated")
+	}
+	for q, fs := range flowsByQuery {
+		if len(fs) != 10 {
+			t.Fatalf("query %d has %d flows, want 10", q, len(fs))
+		}
+		client := fs[0].dst
+		seen := map[int]bool{}
+		for _, f := range fs {
+			if f.dst != client {
+				t.Fatalf("query %d has multiple clients", q)
+			}
+			if f.src == client {
+				t.Fatalf("query %d: client is its own server", q)
+			}
+			if seen[f.src] {
+				t.Fatalf("query %d: duplicate server %d", q, f.src)
+			}
+			seen[f.src] = true
+		}
+	}
+}
+
+func TestIncastScaleClampedToHosts(t *testing.T) {
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	count := 0
+	ic := &Incast{
+		Eng: eng, Met: met, Hosts: 4,
+		QPS: 100, Scale: 100, FlowSize: 1000,
+		Start: func(src, dst int, size int64, incast bool, query int) { count++ },
+	}
+	ic.Run(100 * units.Millisecond)
+	eng.Run(200 * units.Millisecond)
+	if len(met.Queries) == 0 {
+		t.Fatal("no queries")
+	}
+	if count != len(met.Queries)*3 {
+		t.Fatalf("flows %d, want %d (scale clamped to hosts-1=3)", count, len(met.Queries)*3)
+	}
+}
+
+func TestQPSForLoadInvertsLoad(t *testing.T) {
+	qps := QPSForLoad(0.4, 320, 100, 40_000, 10*units.Gbps)
+	ic := &Incast{Hosts: 320, QPS: qps, Scale: 100, FlowSize: 40_000}
+	if got := ic.Load(10 * units.Gbps); got < 0.399 || got > 0.401 {
+		t.Fatalf("round-trip load %.4f, want 0.4", got)
+	}
+	if QPSForLoad(0.5, 10, 0, 100, units.Gbps) != 0 {
+		t.Fatal("zero scale should yield zero QPS")
+	}
+}
+
+func TestIncastRate(t *testing.T) {
+	eng := sim.NewEngine(7)
+	met := metrics.NewCollector()
+	ic := &Incast{
+		Eng: eng, Met: met, Hosts: 64,
+		QPS: 4000, Scale: 5, FlowSize: 1000,
+		Start: func(int, int, int64, bool, int) {},
+	}
+	const horizon = 500 * units.Millisecond
+	ic.Run(horizon)
+	eng.Run(horizon + units.Second)
+	got := float64(len(met.Queries)) / horizon.Seconds()
+	if got < 3200 || got > 4800 {
+		t.Errorf("query rate %.0f/s, want ~4000", got)
+	}
+}
+
+func TestIncastPeriodicIntervals(t *testing.T) {
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	var times []units.Time
+	ic := &Incast{
+		Eng: eng, Met: met, Hosts: 16,
+		QPS: 1000, Scale: 2, FlowSize: 1000, Periodic: true,
+		Start: func(int, int, int64, bool, int) {},
+	}
+	ic.Run(10 * units.Millisecond)
+	eng.Run(20 * units.Millisecond)
+	for _, q := range met.Queries {
+		times = append(times, q.Start)
+	}
+	if len(times) != 10 {
+		t.Fatalf("%d queries in 10ms at 1000 QPS periodic, want 10", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d != units.Millisecond {
+			t.Fatalf("interval %v, want exactly 1ms", d)
+		}
+	}
+}

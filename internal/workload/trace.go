@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+// TraceFlow is one flow in a replayable trace.
+type TraceFlow struct {
+	At   units.Time
+	Src  int
+	Dst  int
+	Size int64
+}
+
+// Trace is a deterministic flow arrival schedule, as parsed from a trace
+// file. It complements the synthetic generators: operators can replay their
+// own measured traffic (the paper's background workloads are themselves
+// distilled from such traces).
+type Trace struct {
+	Flows []TraceFlow
+}
+
+// ParseTrace reads a trace in CSV form, one flow per line:
+//
+//	start_us,src,dst,bytes
+//
+// start_us is the flow arrival time in microseconds from simulation start.
+// Blank lines and lines starting with '#' are skipped. Flows need not be
+// sorted; ParseTrace sorts them by arrival time (stable).
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		var vals [4]int64
+		for i, f := range fields {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		if vals[0] < 0 || vals[1] < 0 || vals[2] < 0 || vals[3] <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative time/host or non-positive size", lineNo)
+		}
+		if vals[1] == vals[2] {
+			return nil, fmt.Errorf("workload: trace line %d: src == dst", lineNo)
+		}
+		tr.Flows = append(tr.Flows, TraceFlow{
+			At:   units.Time(vals[0]) * units.Microsecond,
+			Src:  int(vals[1]),
+			Dst:  int(vals[2]),
+			Size: vals[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tr.Flows, func(i, j int) bool { return tr.Flows[i].At < tr.Flows[j].At })
+	return tr, nil
+}
+
+// Validate checks every flow against the host count.
+func (tr *Trace) Validate(hosts int) error {
+	for i, f := range tr.Flows {
+		if f.Src >= hosts || f.Dst >= hosts {
+			return fmt.Errorf("workload: trace flow %d references host %d/%d, topology has %d",
+				i, f.Src, f.Dst, hosts)
+		}
+	}
+	return nil
+}
+
+// TotalBytes sums the trace's flow sizes.
+func (tr *Trace) TotalBytes() int64 {
+	var n int64
+	for _, f := range tr.Flows {
+		n += f.Size
+	}
+	return n
+}
+
+// Run schedules every flow at its arrival time, up to the deadline.
+func (tr *Trace) Run(eng *sim.Engine, until units.Time, start FlowStarter) {
+	for _, f := range tr.Flows {
+		if f.At > until {
+			break
+		}
+		f := f
+		eng.At(f.At, func() { start(f.Src, f.Dst, f.Size, false, -1) })
+	}
+}

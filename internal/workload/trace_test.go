@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+const sampleTrace = `# time_us,src,dst,bytes
+0,0,1,1000
+100,2,3,50000
+
+50,1,0,200
+`
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Flows) != 3 {
+		t.Fatalf("%d flows, want 3", len(tr.Flows))
+	}
+	// Sorted by arrival.
+	if tr.Flows[0].At != 0 || tr.Flows[1].At != 50*units.Microsecond || tr.Flows[2].At != 100*units.Microsecond {
+		t.Fatalf("not sorted: %+v", tr.Flows)
+	}
+	if tr.TotalBytes() != 51200 {
+		t.Fatalf("total bytes %d, want 51200", tr.TotalBytes())
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad-fields": "1,2,3\n",
+		"bad-number": "a,0,1,100\n",
+		"self-flow":  "0,1,1,100\n",
+		"neg-size":   "0,0,1,0\n",
+		"neg-time":   "-5,0,1,100\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr, _ := ParseTrace(strings.NewReader("0,0,9,100\n"))
+	if err := tr.Validate(4); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	if err := tr.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRunSchedulesFlows(t *testing.T) {
+	tr, err := ParseTrace(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	type started struct {
+		at       units.Time
+		src, dst int
+		size     int64
+	}
+	var got []started
+	tr.Run(eng, units.Second, func(src, dst int, size int64, incast bool, query int) {
+		if incast || query != -1 {
+			t.Fatal("trace flows must be background class")
+		}
+		got = append(got, started{eng.Now(), src, dst, size})
+	})
+	eng.Run(units.Second)
+	if len(got) != 3 {
+		t.Fatalf("started %d flows, want 3", len(got))
+	}
+	if got[1].at != 50*units.Microsecond || got[1].size != 200 {
+		t.Fatalf("flow 1 wrong: %+v", got[1])
+	}
+}
+
+func TestTraceRunRespectsDeadline(t *testing.T) {
+	tr, _ := ParseTrace(strings.NewReader("0,0,1,10\n900,0,1,10\n"))
+	eng := sim.NewEngine(1)
+	n := 0
+	tr.Run(eng, 500*units.Microsecond, func(int, int, int64, bool, int) { n++ })
+	eng.Run(units.Second)
+	if n != 1 {
+		t.Fatalf("started %d flows, want 1 (second is past deadline)", n)
+	}
+}
