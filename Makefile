@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench exp-small exp-medium examples clean
+.PHONY: all build test test-short race vet bench exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race detector over everything, including the parallel sweep runner and the
+# concurrent-experiments test.
+race:
+	$(GO) test -race ./...
 
 # Regenerate every paper table/figure at benchmark (tiny) scale.
 bench:

@@ -13,6 +13,7 @@ package vertigo_test
 // against the paper.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -20,8 +21,13 @@ import (
 	"vertigo"
 	"vertigo/internal/buffer"
 	"vertigo/internal/exp"
+	"vertigo/internal/fabric"
+	"vertigo/internal/host"
+	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
 	"vertigo/internal/units"
 )
 
@@ -213,6 +219,102 @@ func BenchmarkShimEncodeDecode(b *testing.B) {
 		if _, _, err := vertigo.DecodeShim(buf[:]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepParallel runs the Fig. 1 sweep with the worker pool at full
+// concurrency and reports the speedup against a sequential (-j 1) run of the
+// same sweep. The rendered tables are byte-identical either way (see
+// TestParallelSweepDeterminism); on a single-core machine the speedup
+// degenerates to ~1.
+func BenchmarkSweepParallel(b *testing.B) {
+	e, err := exp.ByID("fig1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func(old int) { exp.Concurrency = old }(exp.Concurrency)
+
+	exp.Concurrency = 1
+	t0 := time.Now()
+	if _, err := e.Run(exp.Tiny); err != nil {
+		b.Fatal(err)
+	}
+	seq := time.Since(t0)
+
+	exp.Concurrency = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(exp.Tiny); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	par := b.Elapsed() / time.Duration(b.N)
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_vs_j1")
+	}
+	b.ReportMetric(float64(exp.Concurrency), "workers")
+}
+
+// BenchmarkEngineAllocs pins the engine's event free list: steady-state
+// schedule/fire cycles reuse recycled event structs, so allocs/op is 0.
+func BenchmarkEngineAllocs(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the free list and heap backing array
+		eng.After(units.Time(i), fn)
+	}
+	eng.Run(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(100, fn)
+		eng.Run(eng.Now() + 200)
+	}
+}
+
+// BenchmarkSendPathAllocs drives a saturated DCTCP flow through the full
+// host/fabric stack and reports heap allocations per transmitted data packet.
+// With the packet free list and recycled timer events this sits at ~0.
+func BenchmarkSendPathAllocs(b *testing.B) {
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := fabric.New(eng, tp, met, fabric.DefaultConfig(fabric.ECMP))
+	ids := &packet.IDGen{}
+	hosts := make([]*host.Host, tp.NumHosts)
+	for i := range hosts {
+		h := host.NewHost(i, eng, net, met,
+			host.DefaultMarkerConfig(), host.DefaultOrdererConfig(), false)
+		h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+			return transport.NewReceiver(h, met, ids, first)
+		})
+		hosts[i] = h
+	}
+	tcfg := transport.DefaultConfig(transport.DCTCP)
+	spec := transport.FlowSpec{ID: ids.Next(), Src: 0, Dst: 2, Size: 1 << 40, Query: -1}
+	transport.NewSender(hosts[0], met, tcfg, ids, spec, nil).Start()
+	eng.Run(5 * units.Millisecond) // warm pools, queues and the event heap
+
+	pkts0 := met.PacketsSent
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(eng.Now() + units.Millisecond)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if pkts := met.PacketsSent - pkts0; pkts > 0 {
+		b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/float64(pkts), "allocs/pkt")
+		b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
 	}
 }
 

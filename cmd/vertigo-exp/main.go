@@ -30,8 +30,11 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		par     = flag.Int("parallel", 1, "experiments to run concurrently (tables still print in order)")
+		jobs    = flag.Int("j", exp.Concurrency,
+			"simulations to run concurrently within each experiment (1 = sequential; tables are identical at any setting)")
 	)
 	flag.Parse()
+	exp.Concurrency = max(1, *jobs)
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -58,7 +61,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vertigo-exp [-scale S] [-parallel N] [-csv DIR] [-v] <experiment>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: vertigo-exp [-scale S] [-j N] [-parallel N] [-csv DIR] [-v] <experiment>... | all | -list")
 		os.Exit(2)
 	}
 	var ids []string

@@ -92,9 +92,13 @@ func (q *DropTailQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap 
 //
 // The backing store is a sorted slice: datacenter ports hold at most a few
 // hundred frames (300 KB / 1500 B = 200), so binary-search insertion with a
-// memmove beats pointer-chasing tree structures at this scale.
+// memmove beats pointer-chasing tree structures at this scale. Pop advances a
+// head index instead of shifting the whole slice (the same deferred-
+// compaction scheme DropTailQueue uses), and the freed slot in front of the
+// head is reused when an insertion lands there.
 type SortedQueue struct {
 	pkts  []*packet.Packet
+	head  int
 	bytes units.ByteSize
 	cap   units.ByteSize
 }
@@ -104,10 +108,12 @@ func NewSorted(capacity units.ByteSize) *SortedQueue {
 	return &SortedQueue{cap: capacity}
 }
 
-// insertionPoint returns the index where a packet with the given rank is
-// inserted: after all packets with rank <= r (FIFO among equals).
+// insertionPoint returns the index (into q.pkts, so >= q.head) where a packet
+// with the given rank is inserted: after all packets with rank <= r (FIFO
+// among equals).
 func (q *SortedQueue) insertionPoint(r uint32) int {
-	return sort.Search(len(q.pkts), func(i int) bool { return q.pkts[i].Rank() > r })
+	n := len(q.pkts) - q.head
+	return q.head + sort.Search(n, func(i int) bool { return q.pkts[q.head+i].Rank() > r })
 }
 
 // Push inserts p by rank if it fits.
@@ -122,22 +128,32 @@ func (q *SortedQueue) Push(p *packet.Packet) bool {
 
 func (q *SortedQueue) insert(p *packet.Packet) {
 	i := q.insertionPoint(p.Rank())
-	q.pkts = append(q.pkts, nil)
-	copy(q.pkts[i+1:], q.pkts[i:])
-	q.pkts[i] = p
+	if i == q.head && q.head > 0 {
+		// New minimum: reuse the slot Pop just vacated instead of shifting.
+		q.head--
+		q.pkts[q.head] = p
+	} else {
+		q.pkts = append(q.pkts, nil)
+		copy(q.pkts[i+1:], q.pkts[i:])
+		q.pkts[i] = p
+	}
 	q.bytes += p.Size()
 }
 
 // Pop removes and returns the minimum-rank packet.
 func (q *SortedQueue) Pop() *packet.Packet {
-	if len(q.pkts) == 0 {
+	if q.head >= len(q.pkts) {
 		return nil
 	}
-	p := q.pkts[0]
-	copy(q.pkts, q.pkts[1:])
-	q.pkts[len(q.pkts)-1] = nil
-	q.pkts = q.pkts[:len(q.pkts)-1]
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
 	q.bytes -= p.Size()
+	// Reclaim the consumed prefix once it dominates the slice.
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		q.pkts = append(q.pkts[:0], q.pkts[q.head:]...)
+		q.head = 0
+	}
 	return p
 }
 
@@ -146,7 +162,7 @@ func (q *SortedQueue) Pop() *packet.Packet {
 // the tail, so repeated tail extraction under overflow evicts the packets
 // that arrived during the burst first.
 func (q *SortedQueue) Tail() *packet.Packet {
-	if len(q.pkts) == 0 {
+	if q.head >= len(q.pkts) {
 		return nil
 	}
 	return q.pkts[len(q.pkts)-1]
@@ -155,7 +171,7 @@ func (q *SortedQueue) Tail() *packet.Packet {
 // ExtractTail removes and returns the maximum-rank packet, or nil.
 func (q *SortedQueue) ExtractTail() *packet.Packet {
 	n := len(q.pkts)
-	if n == 0 {
+	if q.head >= n {
 		return nil
 	}
 	p := q.pkts[n-1]
@@ -178,7 +194,7 @@ func (q *SortedQueue) ForceInsert(p *packet.Packet) (evicted []*packet.Packet) {
 }
 
 // Len returns the queue length in packets.
-func (q *SortedQueue) Len() int { return len(q.pkts) }
+func (q *SortedQueue) Len() int { return len(q.pkts) - q.head }
 
 // Bytes returns occupancy in bytes.
 func (q *SortedQueue) Bytes() units.ByteSize { return q.bytes }

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll runs the experiment at Tiny scale and returns every table
+// rendered as text.
+func renderAll(t *testing.T, id string) []byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(Tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, tb := range tables {
+		tb.Fprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepDeterminism pins the runner's core guarantee: rendered
+// tables are byte-identical whether the sweep ran sequentially or on a
+// worker pool, because render callbacks fire in submission order.
+func TestParallelSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	defer func(old int) { Concurrency = old }(Concurrency)
+	for _, id := range []string{"fig1", "fig8"} {
+		Concurrency = 1
+		seq := renderAll(t, id)
+		Concurrency = 8
+		par := renderAll(t, id)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: parallel render differs from sequential:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+				id, seq, par)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"vertigo/internal/core"
 	"vertigo/internal/fabric"
@@ -151,9 +152,15 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 // Progress, when non-nil, receives one line per completed simulation run.
+// Sweep workers report concurrently; calls are serialized by progressMu, so
+// the installed function need not be thread-safe itself.
 var Progress func(format string, args ...any)
 
+var progressMu sync.Mutex
+
 func progress(format string, args ...any) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
 	if Progress != nil {
 		Progress(format, args...)
 	}

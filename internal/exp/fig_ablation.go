@@ -5,6 +5,7 @@ import (
 
 	"vertigo/internal/fabric"
 	"vertigo/internal/host"
+	"vertigo/internal/metrics"
 	"vertigo/internal/transport"
 	"vertigo/internal/units"
 )
@@ -57,6 +58,7 @@ func runFig11a(sc Scale) ([]*Table, error) {
 		label                 string
 		sched, deflect, order bool
 	}
+	sw := newSweep()
 	for _, v := range []variant{
 		{"vertigo", true, true, true},
 		{"no-deflection", true, false, true},
@@ -70,13 +72,15 @@ func runFig11a(sc Scale) ([]*Table, error) {
 			if !v.order {
 				cfg.Orderer.Timeout = 1 // flush immediately: ordering disabled
 			}
-			s, _, err := run("fig11a/"+v.label+"/"+pct(load*100), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(v.label, pct(load*100), s.MeanQCT, s.MeanFCT,
-				pct(100*s.DropRate), pct(s.QueryCompletionP))
+			sw.add("fig11a/"+v.label+"/"+pct(load*100), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(v.label, pct(load*100), s.MeanQCT, s.MeanFCT,
+						pct(100*s.DropRate), pct(s.QueryCompletionP))
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -96,6 +100,7 @@ func runFig11b(sc Scale) ([]*Table, error) {
 		boosting bool
 		log2     uint
 	}
+	sw := newSweep()
 	for _, v := range []variant{
 		{"off", false, 1},
 		{"2x", true, 1},
@@ -106,12 +111,14 @@ func runFig11b(sc Scale) ([]*Table, error) {
 			cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), bg, bg+0.20)
 			cfg.Marker.Boosting = v.boosting
 			cfg.Marker.BoostFactorLog2 = v.log2
-			s, _, err := run("fig11b/"+v.label+"/bg="+pct(bg*100), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(v.label, pct(bg*100), pct(s.QueryCompletionP), s.MeanQCT, s.Retransmits)
+			sw.add("fig11b/"+v.label+"/bg="+pct(bg*100), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(v.label, pct(bg*100), pct(s.QueryCompletionP), s.MeanQCT, s.Retransmits)
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -120,6 +127,7 @@ func runFig11b(sc Scale) ([]*Table, error) {
 // combinations on both topologies.
 func runFig12(sc Scale) ([]*Table, error) {
 	var tables []*Table
+	sw := newSweep()
 	for _, ft := range []bool{false, true} {
 		name := "two-tier leaf-spine"
 		if ft {
@@ -151,14 +159,16 @@ func runFig12(sc Scale) ([]*Table, error) {
 				cfg = withLoads(cfg, 0.25, load)
 				cfg.Fabric.FwdChoices = v.fw
 				cfg.Fabric.DeflChoices = v.defl
-				s, _, err := run(fmt.Sprintf("fig12/%s/%s/%s", name, v.label, pct(load*100)), cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Add(v.label, pct(load*100), s.MeanQCT, pct(100*s.DropRate))
+				sw.add(fmt.Sprintf("fig12/%s/%s/%s", name, v.label, pct(load*100)), cfg,
+					func(s *metrics.Summary, _ *metrics.Collector) {
+						t.Add(v.label, pct(load*100), s.MeanQCT, pct(100*s.DropRate))
+					})
 			}
 		}
 		tables = append(tables, t)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }
@@ -173,29 +183,37 @@ func runTable3(sc Scale) ([]*Table, error) {
 			"paper Table 3: LAS trails SRPT but still beats ECMP and DIBS",
 		},
 	}
+	cols := []struct {
+		policy fabric.Policy
+		las    bool
+	}{
+		{fabric.ECMP, false},
+		{fabric.DIBS, false},
+		{fabric.Vertigo, false},
+		{fabric.Vertigo, true},
+	}
+	sw := newSweep()
 	for _, load := range []float64{0.55, 0.75, 0.95} {
+		// One table row spans four sweep points; renders fire in submission
+		// order, so the last column's callback sees the completed row.
 		row := []any{pct(load * 100)}
-		for _, col := range []struct {
-			policy fabric.Policy
-			las    bool
-		}{
-			{fabric.ECMP, false},
-			{fabric.DIBS, false},
-			{fabric.Vertigo, false},
-			{fabric.Vertigo, true},
-		} {
+		for ci, col := range cols {
 			cfg := withLoads(baseConfig(sc, col.policy, transport.DCTCP), 0.25, load)
 			if col.las {
 				cfg.Marker.Discipline = host.LAS
 			}
 			label := fmt.Sprintf("table3/%s(las=%v)/%s", col.policy, col.las, pct(load*100))
-			s, _, err := run(label, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, s.MeanFCT)
+			last := ci == len(cols)-1
+			sw.add(label, cfg, func(s *metrics.Summary, _ *metrics.Collector) {
+				row = append(row, s.MeanFCT)
+				if last {
+					t.Add(row...)
+				}
+			})
 		}
-		t.Add(row...)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -210,17 +228,20 @@ func runFig13(sc Scale) ([]*Table, error) {
 			"paper Fig. 13: τ has a bounded effect on completion times",
 		},
 	}
+	sw := newSweep()
 	for _, tau := range []units.Time{
 		120 * units.Microsecond, 360 * units.Microsecond,
 		720 * units.Microsecond, 1080 * units.Microsecond,
 	} {
 		cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, 0.75)
 		cfg.Orderer.Timeout = tau
-		s, _, err := run(fmt.Sprintf("fig13/tau=%v", tau), cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(tau, s.MeanFCT, s.P99FCT, s.MeanQCT, s.ReorderPkts)
+		sw.add(fmt.Sprintf("fig13/tau=%v", tau), cfg,
+			func(s *metrics.Summary, _ *metrics.Collector) {
+				t.Add(tau, s.MeanFCT, s.P99FCT, s.MeanQCT, s.ReorderPkts)
+			})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -233,19 +254,21 @@ func runDefSet(sc Scale) ([]*Table, error) {
 		Title:   "Deflection budget ablation (Vertigo + DCTCP, 75% load)",
 		Columns: []string{"budget", "mean_QCT", "query_compl", "drop_rate", "deflections"},
 	}
+	sw := newSweep()
 	for _, budget := range []int{1, 4, 8, 16, -1} {
 		cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, 0.75)
 		cfg.Fabric.MaxDeflections = budget
 		label := fmt.Sprintf("defset/budget=%d", budget)
-		s, _, err := run(label, cfg)
-		if err != nil {
-			return nil, err
-		}
 		name := fmt.Sprint(budget)
 		if budget < 0 {
 			name = "unlimited"
 		}
-		t.Add(name, s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate), s.Deflections)
+		sw.add(label, cfg, func(s *metrics.Summary, _ *metrics.Collector) {
+			t.Add(name, s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate), s.Deflections)
+		})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

@@ -32,17 +32,20 @@ func runFailover(sc Scale) ([]*Table, error) {
 			"deflection-capable schemes (DIBS, Vertigo) reroute in the dataplane",
 		},
 	}
+	sw := newSweep()
 	for _, p := range []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabric.Vertigo} {
 		cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
 		// The first leaf-spine link follows the host access links.
 		firstUplink := sc.Hosts()
 		cfg.LinkFailures = []core.LinkFailure{{Link: firstUplink, At: sc.SimTime / 2}}
-		s, col, err := run(fmt.Sprintf("failover/%s", p), cfg)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(schemeName(p, transport.DCTCP), pct(s.FlowCompletionP), s.MeanFCT,
-			s.Drops, col.Drops[metrics.DropLinkDown])
+		sw.add(fmt.Sprintf("failover/%s", p), cfg,
+			func(s *metrics.Summary, col *metrics.Collector) {
+				t.Add(schemeName(p, transport.DCTCP), pct(s.FlowCompletionP), s.MeanFCT,
+					s.Drops, col.Drops[metrics.DropLinkDown])
+			})
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
 	"vertigo/internal/transport"
 )
 
@@ -48,6 +49,7 @@ func runFig8(sc Scale) ([]*Table, error) {
 	}
 	hosts := sc.Hosts()
 	fractions := []float64{0.15, 0.30, 0.60, 1.0} // of the cluster, paper: 50..450 of 320
+	sw := newSweep()
 	for _, p := range fig8Policies {
 		for _, f := range fractions {
 			scale := int(f * float64(hosts))
@@ -60,13 +62,15 @@ func runFig8(sc Scale) ([]*Table, error) {
 			cfg.IncastFlowSize = 40 * 1000
 			// Fixed query rate scaled from the paper's 4000 QPS on 320 hosts.
 			cfg.IncastQPS = 4000 * float64(hosts) / 320
-			s, _, err := run(fmt.Sprintf("fig8/%s/scale=%d", p, scale), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(schemeName(p, transport.DCTCP), scale, pct(s.QueryCompletionP),
-				s.MeanQCT, s.MeanFCT, s.P99FCT)
+			sw.add(fmt.Sprintf("fig8/%s/scale=%d", p, scale), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(p, transport.DCTCP), scale, pct(s.QueryCompletionP),
+						s.MeanQCT, s.MeanFCT, s.P99FCT)
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -93,19 +97,22 @@ func runFig9(sc Scale) ([]*Table, error) {
 		{fabric.Vertigo, transport.DCTCP},
 	}
 	hosts := sc.Hosts()
+	sw := newSweep()
 	for _, sys := range systems {
 		for _, kb := range []int{1, 40, 100, 180} {
 			cfg := baseConfig(sc, sys.policy, sys.proto)
 			cfg.BGLoad = 0.50
 			cfg.IncastFlowSize = int64(kb) * 1000
 			cfg.IncastQPS = 4000 * float64(hosts) / 320
-			s, _, err := run(fmt.Sprintf("fig9/%s/%dKB", schemeName(sys.policy, sys.proto), kb), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(schemeName(sys.policy, sys.proto), kb, s.MeanQCT,
-				pct(s.QueryCompletionP), pct(100*s.DropRate))
+			sw.add(fmt.Sprintf("fig9/%s/%dKB", schemeName(sys.policy, sys.proto), kb), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(sys.policy, sys.proto), kb, s.MeanQCT,
+						pct(s.QueryCompletionP), pct(100*s.DropRate))
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -122,16 +129,19 @@ func runFig10(sc Scale) ([]*Table, error) {
 		},
 	}
 	const total = 0.80
+	sw := newSweep()
 	for _, p := range fig8Policies {
 		for _, incast := range []float64{0.15, 0.35, 0.55} {
 			cfg := withLoads(baseConfig(sc, p, transport.DCTCP), total-incast, total)
-			s, _, err := run(fmt.Sprintf("fig10/%s/incast=%.0f%%", p, incast*100), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(schemeName(p, transport.DCTCP), pct(100*incast/total),
-				s.MeanQCT, s.P99FCT, pct(100*s.DropRate))
+			sw.add(fmt.Sprintf("fig10/%s/incast=%.0f%%", p, incast*100), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(p, transport.DCTCP), pct(100*incast/total),
+						s.MeanQCT, s.P99FCT, pct(100*s.DropRate))
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -145,6 +155,7 @@ func runFig7(sc Scale) ([]*Table, error) {
 		{0.25, 0.60},
 	}
 	var tables []*Table
+	sw := newSweep()
 	for _, proto := range []transport.Protocol{transport.DCTCP, transport.Swift} {
 		t := &Table{
 			ID:    "fig7",
@@ -157,17 +168,18 @@ func runFig7(sc Scale) ([]*Table, error) {
 			for _, p := range []fabric.Policy{fabric.ECMP, fabric.DIBS, fabric.Vertigo} {
 				cfg := withLoads(fatTreeConfig(sc, p, proto), mix.bg, mix.bg+mix.incast)
 				label := fmt.Sprintf("fig7/%s/%s/%.0f+%.0f", proto, p, mix.bg*100, mix.incast*100)
-				s, _, err := run(label, cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Add(schemeName(p, proto),
-					fmt.Sprintf("%.0f%%+%.0f%%", mix.bg*100, mix.incast*100),
-					pFCT(s, 50), pFCT(s, 99), pTime(s, 50), pTime(s, 99),
-					pct(s.QueryCompletionP))
+				sw.add(label, cfg, func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(p, proto),
+						fmt.Sprintf("%.0f%%+%.0f%%", mix.bg*100, mix.incast*100),
+						pFCT(s, 50), pFCT(s, 99), pTime(s, 50), pTime(s, 99),
+						pct(s.QueryCompletionP))
+				})
 			}
 		}
 		tables = append(tables, t)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }

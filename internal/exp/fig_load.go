@@ -2,6 +2,7 @@ package exp
 
 import (
 	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
 	"vertigo/internal/transport"
 )
 
@@ -59,17 +60,20 @@ func runFig1(sc Scale) ([]*Table, error) {
 			"mean_hops shows deflection's path stretch (paper §2: +20% at 50% load)",
 		},
 	}
+	sw := newSweep()
 	for _, sys := range systems {
 		for _, load := range sweepLoads {
 			cfg := withLoads(baseConfig(sc, sys.policy, sys.proto), 0.15, load)
-			s, _, err := run("fig1/"+sys.label+"/"+pct(load*100), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(sys.label, pct(load*100), pct(s.QueryCompletionP), s.MeanQCT,
-				pct(s.FlowCompletionP), s.MeanFCT,
-				float64(s.OverallGoodput)/1e9, float64(s.ElephantGoodput)/1e6, s.MeanHops)
+			sw.add("fig1/"+sys.label+"/"+pct(load*100), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(sys.label, pct(load*100), pct(s.QueryCompletionP), s.MeanQCT,
+						pct(s.FlowCompletionP), s.MeanFCT,
+						float64(s.OverallGoodput)/1e9, float64(s.ElephantGoodput)/1e6, s.MeanHops)
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -86,32 +90,26 @@ func runSec2(sc Scale) ([]*Table, error) {
 			"pow-2 deflection choice vs random shows the power-of-two-choices win",
 		},
 	}
-	mk := func(label string, policy fabric.Policy, deflChoices int, load float64) error {
+	sw := newSweep()
+	mk := func(label string, policy fabric.Policy, deflChoices int, load float64) {
 		cfg := withLoads(baseConfig(sc, policy, transport.DCTCP), 0.15, load)
 		if deflChoices > 0 {
 			cfg.Fabric.DeflChoices = deflChoices
 		}
-		s, _, err := run("sec2/"+label+"/"+pct(load*100), cfg)
-		if err != nil {
-			return err
-		}
-		t.Add(label, pct(load*100), s.MeanHops, s.MeanMiceFCT,
-			pct(100*s.ReorderRate), pct(100*s.DropRate), s.Deflections)
-		return nil
+		sw.add("sec2/"+label+"/"+pct(load*100), cfg,
+			func(s *metrics.Summary, _ *metrics.Collector) {
+				t.Add(label, pct(load*100), s.MeanHops, s.MeanMiceFCT,
+					pct(100*s.ReorderRate), pct(100*s.DropRate), s.Deflections)
+			})
 	}
 	for _, load := range []float64{0.35, 0.75} {
-		if err := mk("ecmp", fabric.ECMP, 0, load); err != nil {
-			return nil, err
-		}
-		if err := mk("rand-deflect", fabric.DIBS, 0, load); err != nil {
-			return nil, err
-		}
-		if err := mk("vertigo-defl^1", fabric.Vertigo, 1, load); err != nil {
-			return nil, err
-		}
-		if err := mk("vertigo-defl^2", fabric.Vertigo, 2, load); err != nil {
-			return nil, err
-		}
+		mk("ecmp", fabric.ECMP, 0, load)
+		mk("rand-deflect", fabric.DIBS, 0, load)
+		mk("vertigo-defl^1", fabric.Vertigo, 1, load)
+		mk("vertigo-defl^2", fabric.Vertigo, 2, load)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -121,6 +119,7 @@ func runSec2(sc Scale) ([]*Table, error) {
 func runFig5(sc Scale) ([]*Table, error) {
 	policies := []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabric.Vertigo}
 	var tables []*Table
+	sw := newSweep()
 	for _, bg := range []float64{0.25, 0.50, 0.75} {
 		t := &Table{
 			ID:      "fig5",
@@ -134,15 +133,17 @@ func runFig5(sc Scale) ([]*Table, error) {
 					continue
 				}
 				cfg := withLoads(baseConfig(sc, p, transport.DCTCP), bg, total)
-				s, _, err := run("fig5/"+p.String()+"/"+pct(total*100), cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Add(schemeName(p, transport.DCTCP), pct(total*100),
-					s.MeanQCT, s.MeanFCT, s.P99QCT, s.P99FCT, pct(s.QueryCompletionP))
+				sw.add("fig5/"+p.String()+"/"+pct(total*100), cfg,
+					func(s *metrics.Summary, _ *metrics.Collector) {
+						t.Add(schemeName(p, transport.DCTCP), pct(total*100),
+							s.MeanQCT, s.MeanFCT, s.P99QCT, s.P99FCT, pct(s.QueryCompletionP))
+					})
 			}
 		}
 		tables = append(tables, t)
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }
@@ -176,20 +177,23 @@ func runFig6(sc Scale) ([]*Table, error) {
 		Title:   "QCT CDF at high load",
 		Columns: []string{"system", "p25", "p50", "p75", "p95", "p99"},
 	}
+	sw := newSweep()
 	for _, sys := range systems {
 		for _, load := range []float64{0.45, 0.65, 0.85} {
 			cfg := withLoads(baseConfig(sc, sys.policy, sys.proto), 0.25, load)
-			s, _, err := run("fig6/"+schemeName(sys.policy, sys.proto)+"/"+pct(load*100), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(schemeName(sys.policy, sys.proto), pct(load*100),
-				s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate))
-			if load == 0.85 {
-				cdf.Add(schemeName(sys.policy, sys.proto),
-					pTime(s, 25), pTime(s, 50), pTime(s, 75), pTime(s, 95), pTime(s, 99))
-			}
+			sw.add("fig6/"+schemeName(sys.policy, sys.proto)+"/"+pct(load*100), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(sys.policy, sys.proto), pct(load*100),
+						s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate))
+					if load == 0.85 {
+						cdf.Add(schemeName(sys.policy, sys.proto),
+							pTime(s, 25), pTime(s, 50), pTime(s, 75), pTime(s, 95), pTime(s, 99))
+					}
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t, cdf}, nil
 }
@@ -202,15 +206,18 @@ func runTable2(sc Scale) ([]*Table, error) {
 		Columns: []string{"cc/system", "flow_compl", "query_compl"},
 		Notes:   []string{"paper Table 2: Vertigo > DIBS > ECMP for both transports"},
 	}
+	sw := newSweep()
 	for _, proto := range []transport.Protocol{transport.DCTCP, transport.Swift} {
 		for _, p := range []fabric.Policy{fabric.ECMP, fabric.DIBS, fabric.Vertigo} {
 			cfg := withLoads(baseConfig(sc, p, proto), 0.50, 0.75)
-			s, _, err := run("table2/"+schemeName(p, proto), cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.Add(schemeName(p, proto), pct(s.FlowCompletionP), pct(s.QueryCompletionP))
+			sw.add("table2/"+schemeName(p, proto), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(schemeName(p, proto), pct(s.FlowCompletionP), pct(s.QueryCompletionP))
+				})
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
 	"vertigo/internal/transport"
 	"vertigo/internal/workload"
 )
@@ -32,6 +33,7 @@ func runNonBursty(sc Scale) ([]*Table, error) {
 			"Vertigo; large-flow workloads see at most a marginal FCT increase",
 		},
 	}
+	sw := newSweep()
 	for _, dist := range []*workload.SizeDist{
 		workload.CacheFollower, workload.DataMining, workload.WebSearch,
 	} {
@@ -48,14 +50,15 @@ func runNonBursty(sc Scale) ([]*Table, error) {
 				cfg.BGDist = dist
 				cfg.IncastQPS = 0
 				label := "nonbursty/" + dist.Name + "/" + sys.policy.String() + "/" + pct(load*100)
-				s, _, err := run(label, cfg)
-				if err != nil {
-					return nil, err
-				}
-				t.Add(dist.Name, schemeName(sys.policy, sys.proto), pct(load*100),
-					s.MeanFCT, s.MeanMiceFCT, s.P99FCT, pct(100*s.DropRate))
+				sw.add(label, cfg, func(s *metrics.Summary, _ *metrics.Collector) {
+					t.Add(dist.Name, schemeName(sys.policy, sys.proto), pct(load*100),
+						s.MeanFCT, s.MeanMiceFCT, s.P99FCT, pct(100*s.DropRate))
+				})
 			}
 		}
+	}
+	if err := sw.run(); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

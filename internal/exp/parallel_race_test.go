@@ -6,12 +6,16 @@ import (
 )
 
 // TestParallelExperimentsRace runs two experiments concurrently (as
-// `vertigo-exp -parallel` does) under the race detector: simulations must
-// share no mutable state.
+// `vertigo-exp -parallel` does), each with a parallel inner sweep, under the
+// race detector: simulations must share no mutable state.
 func TestParallelExperimentsRace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
+	defer func(old int) { Concurrency = old }(Concurrency)
+	Concurrency = 4
+	Progress = func(string, ...any) {} // exercise the progress path too
+	defer func() { Progress = nil }()
 	var wg sync.WaitGroup
 	for _, id := range []string{"fig13", "defset"} {
 		e, err := ByID(id)

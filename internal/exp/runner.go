@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vertigo/internal/core"
+	"vertigo/internal/metrics"
+)
+
+// Concurrency is the number of simulations experiment drivers run at once.
+// Each sweep point is one single-threaded deterministic simulation, so the
+// sweep is embarrassingly parallel; 1 restores fully sequential execution.
+// The default uses every available CPU.
+var Concurrency = runtime.GOMAXPROCS(0)
+
+// sweepJob is one scenario of a sweep: a label and config submitted up
+// front, the simulation outcome filled in by a worker, and a render callback
+// that folds the outcome into the driver's tables.
+type sweepJob struct {
+	label  string
+	cfg    core.Config
+	render func(s *metrics.Summary, col *metrics.Collector)
+	sum    *metrics.Summary
+	col    *metrics.Collector
+	err    error
+}
+
+// sweep collects scenarios and runs them on a worker pool. Drivers enqueue
+// every point first (add), then execute (run): workers complete jobs in
+// whatever order the scheduler picks, but render callbacks fire in
+// submission order after all simulations finish, so rendered tables are
+// byte-identical to a sequential run regardless of Concurrency.
+type sweep struct {
+	jobs []*sweepJob
+}
+
+func newSweep() *sweep { return &sweep{} }
+
+// add enqueues one scenario. render (optional) is invoked with the
+// simulation outcome during run, in submission order.
+func (sw *sweep) add(label string, cfg core.Config, render func(*metrics.Summary, *metrics.Collector)) {
+	sw.jobs = append(sw.jobs, &sweepJob{label: label, cfg: cfg, render: render})
+}
+
+// run executes all enqueued jobs and fires their render callbacks in
+// submission order. The returned error is the earliest-submitted failure.
+func (sw *sweep) run() error {
+	workers := Concurrency
+	if workers > len(sw.jobs) {
+		workers = len(sw.jobs)
+	}
+	if workers <= 1 {
+		// Sequential: identical behavior to the historical drivers,
+		// including stopping at the first failure.
+		for _, j := range sw.jobs {
+			j.sum, j.col, j.err = run(j.label, j.cfg)
+			if j.err != nil {
+				return j.err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(sw.jobs) {
+						return
+					}
+					j := sw.jobs[i]
+					j.sum, j.col, j.err = run(j.label, j.cfg)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, j := range sw.jobs {
+			if j.err != nil {
+				return j.err
+			}
+		}
+	}
+	for _, j := range sw.jobs {
+		if j.render != nil {
+			j.render(j.sum, j.col)
+		}
+	}
+	return nil
+}

@@ -151,9 +151,21 @@ type Network struct {
 	Cfg  Config
 
 	switches []*Switch
-	hostNIC  []*Port    // host egress toward its ToR
-	hostRecv []Receiver // host ingress handlers
-	obs      Observer   // optional telemetry observer
+	hostNIC  []*Port      // host egress toward its ToR
+	hostRecv []Receiver   // host ingress handlers
+	obs      Observer     // optional telemetry observer
+	pool     *packet.Pool // per-simulation packet free list
+}
+
+// Pool returns the network's packet free list. Transports allocate packets
+// from it and the fabric returns dropped packets to it, so the per-segment
+// data/ACK churn recycles instead of allocating. Nil-safe: a nil Network
+// yields a nil Pool, which degrades to plain allocation.
+func (n *Network) Pool() *packet.Pool {
+	if n == nil {
+		return nil
+	}
+	return n.pool
 }
 
 // SetObserver installs a telemetry observer (nil to disable).
@@ -191,6 +203,7 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 		Met:      met,
 		Cfg:      cfg,
 		hostRecv: make([]Receiver, t.NumHosts),
+		pool:     &packet.Pool{},
 	}
 
 	n.switches = make([]*Switch, t.NumSwitches)
@@ -229,6 +242,7 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 			delay:   link.Delay,
 			deliver: tor.Receive,
 		}
+		n.hostNIC[h].initTx()
 	}
 	return n
 }
@@ -306,6 +320,8 @@ func (n *Network) drop(sw, port int, p *packet.Packet, reason metrics.DropReason
 	if n.obs != nil {
 		n.obs.Drop(sw, port, p, reason)
 	}
+	// The fabric holds the last reference to a dropped packet.
+	n.pool.Put(p)
 }
 
 // Port is one egress queue with an attached link. Transmission is
@@ -320,6 +336,40 @@ type Port struct {
 	busy    bool
 	down    bool // link failed: no carrier
 	deliver func(*packet.Packet)
+
+	// Transmit-path machinery, allocated once per port instead of twice per
+	// packet: serialization order plus a fixed propagation delay means the
+	// link delivers strictly FIFO, so in-flight packets ride a small queue
+	// drained by one prebuilt arrival handler, and the end-of-serialization
+	// callback is likewise shared.
+	inflight []*packet.Packet
+	infHead  int
+	txDone   func() // fires when serialization ends: free the line
+	arrive   func() // fires at the peer: deliver the oldest in-flight packet
+}
+
+// initTx builds the port's shared transmit callbacks.
+func (pt *Port) initTx() {
+	pt.txDone = func() {
+		pt.busy = false
+		pt.maybeSend()
+	}
+	pt.arrive = func() {
+		p := pt.inflight[pt.infHead]
+		pt.inflight[pt.infHead] = nil
+		pt.infHead++
+		// Reclaim the consumed prefix so a continuously busy link cannot
+		// grow the slice without bound (only a handful of packets fit in
+		// one propagation delay, so the copy is tiny).
+		if pt.infHead == len(pt.inflight) {
+			pt.inflight = pt.inflight[:0]
+			pt.infHead = 0
+		} else if pt.infHead > 32 && pt.infHead*2 >= len(pt.inflight) {
+			pt.inflight = append(pt.inflight[:0], pt.inflight[pt.infHead:]...)
+			pt.infHead = 0
+		}
+		pt.deliver(p)
+	}
 }
 
 // Queue exposes the port's queue (used by policies and tests).
@@ -352,11 +402,9 @@ func (pt *Port) maybeSend() {
 	if o := pt.net.obs; o != nil {
 		o.Transmit(pt.sw, pt.idx, p, tx, pt.q.Bytes())
 	}
-	eng.After(tx, func() {
-		pt.busy = false
-		pt.maybeSend()
-	})
-	eng.After(tx+pt.delay, func() { pt.deliver(p) })
+	eng.After(tx, pt.txDone)
+	pt.inflight = append(pt.inflight, p)
+	eng.After(tx+pt.delay, pt.arrive)
 }
 
 // Switch is an output-queued switch running one forwarding policy.
@@ -381,6 +429,7 @@ func newSwitch(n *Network, id int) *Switch {
 			q = buffer.NewDropTail(n.Cfg.BufferBytes)
 		}
 		s.ports[p] = &Port{net: n, sw: id, idx: p, q: q}
+		s.ports[p].initTx()
 	}
 	return s
 }

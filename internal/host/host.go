@@ -51,6 +51,10 @@ func NewHost(id int, eng *sim.Engine, net *fabric.Network, met *metrics.Collecto
 // SetAcceptor installs the factory invoked for unknown inbound flows.
 func (h *Host) SetAcceptor(a Acceptor) { h.accept = a }
 
+// Pool returns the fabric's per-simulation packet free list, from which
+// transports allocate and to which final consumers return packets.
+func (h *Host) Pool() *packet.Pool { return h.Net.Pool() }
+
 // Bind routes received packets of a flow to fn.
 func (h *Host) Bind(flow uint64, fn func(*packet.Packet)) { h.handlers[flow] = fn }
 
@@ -95,8 +99,10 @@ func (h *Host) dispatch(p *packet.Packet) {
 		if fn := h.accept(p); fn != nil {
 			h.handlers[p.Flow] = fn
 			fn(p)
+			return
 		}
 	}
-	// Packets for unknown flows (e.g. duplicates arriving after the
-	// receiver state was torn down) are silently consumed, as a NIC would.
+	// Packets for unknown flows (e.g. ACKs straggling in after the sender
+	// finished) are silently consumed, as a NIC would; recycle the frame.
+	h.Net.Pool().Put(p)
 }

@@ -43,7 +43,7 @@ type orderFlow struct {
 	expected    uint32 // position value of the next in-order packet
 	finished    bool   // flow fully delivered; state lingers as a tombstone
 	buf         []ooEntry
-	timer       *sim.Timer
+	timer       sim.Timer
 }
 
 // Orderer is the RX-path ordering component: the first software entity to
@@ -174,10 +174,8 @@ func (o *Orderer) deliverRun(flow uint64, st *orderFlow, p *packet.Packet, v uin
 // paths with the original) pass straight through instead of being buffered,
 // then is reclaimed.
 func (o *Orderer) finish(flow uint64, st *orderFlow) {
-	if st.timer != nil {
-		st.timer.Cancel()
-		st.timer = nil
-	}
+	st.timer.Cancel()
+	st.timer = sim.Timer{}
 	st.finished = true
 	st.buf = nil
 	o.eng.After(o.cfg.Timeout, func() {
@@ -201,7 +199,7 @@ func (o *Orderer) bufferEarly(st *orderFlow, p *packet.Packet, v uint32) {
 	if o.met != nil {
 		o.met.OrderingHeld++
 	}
-	if st.timer == nil || !st.timer.Pending() {
+	if !st.timer.Pending() {
 		o.armAt(flowOf(p), st, st.buf[0].arrived+o.cfg.Timeout)
 	}
 }
@@ -214,10 +212,8 @@ var debugTimeout func(flow uint64, hasExp bool, expected, headV uint32, buflen i
 // rearm resets the timer to the head-of-buffer arrival plus τ (paper §3.3.2
 // event 2), or disarms it when nothing is buffered.
 func (o *Orderer) rearm(flow uint64, st *orderFlow) {
-	if st.timer != nil {
-		st.timer.Cancel()
-		st.timer = nil
-	}
+	st.timer.Cancel()
+	st.timer = sim.Timer{}
 	if len(st.buf) > 0 {
 		o.armAt(flow, st, st.buf[0].arrived+o.cfg.Timeout)
 	}
@@ -237,7 +233,7 @@ func (o *Orderer) timeout(flow uint64) {
 	if st == nil {
 		return
 	}
-	st.timer = nil
+	st.timer = sim.Timer{}
 	if len(st.buf) == 0 {
 		// Nothing held (state was idle): drop stale flow state.
 		if !st.hasExpected {

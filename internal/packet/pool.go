@@ -1,0 +1,49 @@
+package packet
+
+// Pool is a per-simulation free list of Packets. Data packets and ACKs are
+// the simulator's dominant allocation churn (one of each per delivered
+// segment); recycling them through a free list makes the send path
+// allocation-free at steady state.
+//
+// Ownership rule: a packet is either in exactly one queue, in flight on one
+// link, or being handled — whoever consumes it last (the transport handler
+// on delivery, the fabric on a drop) returns it with Put. A packet must not
+// be touched after Put.
+//
+// A Pool is not safe for concurrent use; every simulation (engine) owns its
+// own. A nil *Pool is valid and degrades to plain allocation.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a packet for the caller to initialize. The packet's fields are
+// unspecified (it may be a recycled frame); callers must overwrite it
+// wholesale with a composite-literal assignment.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Put recycles p. The caller must hold the last reference.
+func (pl *Pool) Put(p *Packet) {
+	if pl == nil || p == nil {
+		return
+	}
+	pl.free = append(pl.free, p)
+}
+
+// Len returns the number of packets currently on the free list.
+func (pl *Pool) Len() int {
+	if pl == nil {
+		return 0
+	}
+	return len(pl.free)
+}

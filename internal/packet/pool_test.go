@@ -1,0 +1,56 @@
+package packet
+
+import "testing"
+
+func TestPoolRecycles(t *testing.T) {
+	pl := &Pool{}
+	p := pl.Get()
+	p.ID = 42
+	pl.Put(p)
+	if pl.Len() != 1 {
+		t.Fatalf("Len = %d after Put, want 1", pl.Len())
+	}
+	q := pl.Get()
+	if q != p {
+		t.Fatal("Get did not return the recycled packet")
+	}
+	if pl.Len() != 0 {
+		t.Fatalf("Len = %d after Get, want 0", pl.Len())
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var pl *Pool
+	p := pl.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(p) // must not panic
+	if pl.Len() != 0 {
+		t.Fatal("nil pool has nonzero Len")
+	}
+}
+
+func TestPoolGetAllocatesWhenEmpty(t *testing.T) {
+	pl := &Pool{}
+	a, b := pl.Get(), pl.Get()
+	if a == b {
+		t.Fatal("empty pool handed out the same packet twice")
+	}
+	pl.Put(nil) // must not panic or enqueue
+	if pl.Len() != 0 {
+		t.Fatal("Put(nil) enqueued a nil packet")
+	}
+}
+
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	pl := &Pool{}
+	pl.Put(&Packet{})
+	avg := testing.AllocsPerRun(100, func() {
+		p := pl.Get()
+		pl.Put(p)
+	})
+	if avg > 0 {
+		t.Fatalf("Get/Put cycle allocates %.2f, want 0", avg)
+	}
+}

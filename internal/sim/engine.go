@@ -15,12 +15,15 @@ import (
 // Handler is a callback invoked when an event fires.
 type Handler func()
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the engine's
+// free list once fired or cancelled; gen distinguishes incarnations so that
+// a Timer held across its event's recycling can never act on the new tenant.
 type event struct {
 	at    units.Time
 	seq   uint64 // schedule order, breaks timestamp ties deterministically
 	fn    Handler
-	index int // heap index, -1 once popped
+	index int    // heap index, -1 once popped
+	gen   uint64 // incarnation counter, bumped on recycle
 	dead  bool
 }
 
@@ -64,6 +67,7 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
+	free    []*event // recycled events: At/After allocate from here
 }
 
 // NewEngine returns an engine whose randomness is derived from seed.
@@ -84,20 +88,42 @@ func (e *Engine) Events() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// alloc takes an event off the free list, or makes a fresh one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fired or cancelled event to the free list. Bumping gen
+// invalidates every Timer still pointing at the event.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug rather than a recoverable condition.
-func (e *Engine) At(t units.Time, fn Handler) *Timer {
+func (e *Engine) At(t units.Time, fn Handler) Timer {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
 	heap.Push(&e.heap, ev)
-	return &Timer{engine: e, ev: ev}
+	return Timer{engine: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d units.Time, fn Handler) *Timer {
+func (e *Engine) After(d units.Time, fn Handler) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -118,11 +144,14 @@ func (e *Engine) Run(until units.Time) units.Time {
 		}
 		ev := heap.Pop(&e.heap).(*event)
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -130,31 +159,48 @@ func (e *Engine) Run(until units.Time) units.Time {
 	return e.now
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. Timers are
+// values: the zero Timer is valid and behaves like one whose event already
+// fired (Cancel and Pending report false, At reports 0).
 type Timer struct {
 	engine *Engine
 	ev     *event
+	gen    uint64
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
+// valid reports whether the timer still refers to its own event (the event
+// has not been recycled for a later scheduling).
+func (t Timer) valid() bool {
+	return t.ev != nil && t.ev.gen == t.gen
+}
+
+// Cancel prevents the event from firing. Cancelling a zero, already-fired or
 // already-cancelled timer is a no-op. Reports whether the event was pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+func (t Timer) Cancel() bool {
+	if !t.valid() || t.ev.dead {
 		return false
 	}
-	if t.ev.index < 0 { // already popped (fired or about to)
+	if t.ev.index < 0 { // already popped (firing right now)
 		t.ev.dead = true
 		return false
 	}
-	t.ev.dead = true
-	heap.Remove(&t.engine.heap, t.ev.index)
+	ev := t.ev
+	ev.dead = true
+	heap.Remove(&t.engine.heap, ev.index)
+	t.engine.recycle(ev)
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index >= 0
+func (t Timer) Pending() bool {
+	return t.valid() && !t.ev.dead && t.ev.index >= 0
 }
 
-// At returns the time the timer is scheduled to fire.
-func (t *Timer) At() units.Time { return t.ev.at }
+// At returns the time the timer is scheduled to fire, or 0 for a zero Timer
+// or one whose event has already fired or been cancelled.
+func (t Timer) At() units.Time {
+	if !t.valid() {
+		return 0
+	}
+	return t.ev.at
+}

@@ -128,12 +128,78 @@ func TestTimerCancel(t *testing.T) {
 func TestTimerCancelInsideEarlierEvent(t *testing.T) {
 	eng := NewEngine(1)
 	fired := false
-	var tm *Timer
+	var tm Timer
 	eng.At(10, func() { tm.Cancel() })
 	tm = eng.At(20, func() { fired = true })
 	eng.Run(units.Second)
 	if fired {
 		t.Fatal("timer fired despite cancellation at t=10")
+	}
+}
+
+func TestZeroTimerSafe(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() {
+		t.Error("zero timer reported pending on Cancel")
+	}
+	if tm.Pending() {
+		t.Error("zero timer reported Pending")
+	}
+	if tm.At() != 0 {
+		t.Errorf("zero timer At() = %v, want 0", tm.At())
+	}
+}
+
+func TestTimerAtAfterFire(t *testing.T) {
+	eng := NewEngine(1)
+	tm := eng.At(100, func() {})
+	if tm.At() != 100 {
+		t.Fatalf("At() = %v before firing, want 100", tm.At())
+	}
+	eng.Run(units.Second)
+	// The event has fired and may have been recycled for another timer:
+	// the stale handle must report an inert state, not the new tenant's.
+	if tm.At() != 0 || tm.Pending() || tm.Cancel() {
+		t.Fatalf("fired timer not inert: At=%v Pending=%v", tm.At(), tm.Pending())
+	}
+}
+
+// TestRecycledEventDoesNotConfuseStaleTimer pins the generation check: a
+// timer held across its event's recycling must not cancel the event's next
+// incarnation.
+func TestRecycledEventDoesNotConfuseStaleTimer(t *testing.T) {
+	eng := NewEngine(1)
+	var stale Timer
+	fired := false
+	stale = eng.At(10, func() {})
+	eng.Run(20)
+	// The event backing stale is now on the free list; this At reuses it.
+	eng.At(30, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("stale timer cancelled a recycled event")
+	}
+	eng.Run(units.Second)
+	if !fired {
+		t.Fatal("recycled event did not fire (stale handle interfered)")
+	}
+}
+
+// TestEngineReusesEvents pins the free list: steady-state schedule/fire
+// cycles must not allocate.
+func TestEngineReusesEvents(t *testing.T) {
+	eng := NewEngine(1)
+	fn := func() {}
+	// Warm up the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		eng.After(units.Time(i), fn)
+	}
+	eng.Run(1 << 20)
+	avg := testing.AllocsPerRun(200, func() {
+		eng.After(100, fn)
+		eng.Run(eng.Now() + 200)
+	})
+	if avg > 0 {
+		t.Fatalf("schedule/fire allocates %.2f per event, want 0", avg)
 	}
 }
 
@@ -183,7 +249,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		eng := NewEngine(5)
 		rng := rand.New(rand.NewSource(seed))
 		fired := make(map[int]bool)
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			i := i
 			timers[i] = eng.At(units.Time(d), func() { fired[i] = true })

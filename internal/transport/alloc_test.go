@@ -1,0 +1,38 @@
+package transport_test
+
+import (
+	"runtime"
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// TestSendPathAllocationFree pins the packet free list: once the pools are
+// warm, a steady ACK-clocked flow must recycle every data packet, ACK and
+// timer event rather than allocate. The budget of 0.1 allocations per packet
+// leaves slack only for amortized growth of long-lived backing arrays.
+func TestSendPathAllocationFree(t *testing.T) {
+	r := newRig(t, fabric.DefaultConfig(fabric.ECMP), transport.DefaultConfig(transport.DCTCP), false)
+	r.flow(0, 2, 100_000_000) // long enough to stay active for the whole test
+
+	// Warm-up: exit slow start, size the pools, queues and event heap.
+	r.eng.Run(5 * units.Millisecond)
+
+	pkts0 := r.met.PacketsSent
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	r.eng.Run(25 * units.Millisecond)
+	runtime.ReadMemStats(&m1)
+	pkts := r.met.PacketsSent - pkts0
+
+	if pkts < 1000 {
+		t.Fatalf("only %d packets in measurement window, rig broken?", pkts)
+	}
+	perPkt := float64(m1.Mallocs-m0.Mallocs) / float64(pkts)
+	t.Logf("%d packets, %d allocs (%.4f allocs/pkt)", pkts, m1.Mallocs-m0.Mallocs, perPkt)
+	if perPkt > 0.1 {
+		t.Errorf("steady-state send path allocates %.3f objects/packet, want ~0", perPkt)
+	}
+}

@@ -12,9 +12,10 @@ import (
 // marks, timestamps and hop counts), and reports flow completion to the
 // metrics collector the moment the last byte arrives.
 type Receiver struct {
-	h   *host.Host
-	met *metrics.Collector
-	ids *packet.IDGen
+	h    *host.Host
+	met  *metrics.Collector
+	ids  *packet.IDGen
+	pool *packet.Pool
 
 	flow     uint64
 	peer     int // sending host
@@ -22,6 +23,7 @@ type Receiver struct {
 	size     int64
 	recvNext int64      // next in-order byte expected
 	ooo      []interval // out-of-order received ranges, sorted, disjoint
+	scratch  []interval // spare backing array for admit's merge pass
 	maxEnd   int64      // highest byte offset seen (reordering detection)
 	done     bool
 }
@@ -35,6 +37,7 @@ func NewReceiver(h *host.Host, met *metrics.Collector, ids *packet.IDGen, first 
 		h:    h,
 		met:  met,
 		ids:  ids,
+		pool: h.Pool(),
 		flow: first.Flow,
 		peer: first.Src,
 		self: first.Dst,
@@ -46,7 +49,14 @@ func NewReceiver(h *host.Host, met *metrics.Collector, ids *packet.IDGen, first 
 // Received returns the count of in-order bytes received so far.
 func (r *Receiver) Received() int64 { return r.recvNext }
 
+// onData consumes one packet: the receiver is its final owner, so the frame
+// is recycled after processing.
 func (r *Receiver) onData(p *packet.Packet) {
+	r.handleData(p)
+	r.pool.Put(p)
+}
+
+func (r *Receiver) handleData(p *packet.Packet) {
 	if p.Kind != packet.Data {
 		return
 	}
@@ -75,15 +85,22 @@ func (r *Receiver) admit(lo, hi int64) int64 {
 	if hi <= lo {
 		return 0
 	}
+	// Fast path: in-order delivery with nothing buffered — the common case —
+	// just advances the cumulative pointer, with no interval bookkeeping.
+	if len(r.ooo) == 0 && lo == r.recvNext {
+		r.recvNext = hi
+		return hi - lo
+	}
 	// Count uncovered bytes: the span minus its intersection with each
 	// existing (disjoint) interval.
 	fresh := hi - lo
 	for _, iv := range r.ooo {
 		fresh -= overlap(interval{lo, hi}, iv)
 	}
-	// Merge [lo,hi) into the sorted disjoint set.
+	// Merge [lo,hi) into the sorted disjoint set, writing into the spare
+	// backing array so steady-state merges don't allocate.
 	cur := interval{lo, hi}
-	out := make([]interval, 0, len(r.ooo)+1)
+	out := r.scratch[:0]
 	inserted := false
 	for _, iv := range r.ooo {
 		switch {
@@ -107,7 +124,7 @@ func (r *Receiver) admit(lo, hi int64) int64 {
 	if !inserted {
 		out = append(out, cur)
 	}
-	r.ooo = out
+	r.ooo, r.scratch = out, r.ooo
 	// Advance the cumulative pointer over a now-contiguous prefix.
 	for len(r.ooo) > 0 && r.ooo[0].lo <= r.recvNext {
 		if r.ooo[0].hi > r.recvNext {
@@ -142,7 +159,8 @@ func (r *Receiver) sendAck(data *packet.Packet) {
 		// Swift does with hardware timestamps.
 		proc = now - data.RxAt
 	}
-	ack := &packet.Packet{
+	ack := r.pool.Get()
+	*ack = packet.Packet{
 		ID:       r.ids.Next(),
 		Kind:     packet.Ack,
 		Src:      r.self,

@@ -23,11 +23,12 @@ type FlowSpec struct {
 // additionally paces transmissions, which is what lets its congestion window
 // drop below one packet under extreme incast (paper §4.2).
 type Sender struct {
-	h   *host.Host
-	eng *sim.Engine
-	met *metrics.Collector
-	cfg Config
-	ids *packet.IDGen
+	h    *host.Host
+	eng  *sim.Engine
+	met  *metrics.Collector
+	cfg  Config
+	ids  *packet.IDGen
+	pool *packet.Pool
 
 	spec FlowSpec
 
@@ -49,8 +50,11 @@ type Sender struct {
 	// RTT estimation and RTO.
 	srtt, rttvar units.Time
 	rto          units.Time
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	backoff      int
+	// Method-value closures are allocated once here; taking s.onRTO at every
+	// arm site would allocate per ACK.
+	onRTOFn, trySendFn func()
 
 	// DCTCP.
 	alpha       float64
@@ -60,7 +64,7 @@ type Sender struct {
 
 	// Swift.
 	lastDecrease units.Time
-	pacingTimer  *sim.Timer
+	pacingTimer  sim.Timer
 	nextSendAt   units.Time
 	retxStreak   int // consecutive retransmission events without progress
 
@@ -76,6 +80,7 @@ func NewSender(h *host.Host, met *metrics.Collector, cfg Config, ids *packet.IDG
 		met:  met,
 		cfg:  cfg,
 		ids:  ids,
+		pool: h.Pool(),
 		spec: spec,
 		cwnd: cfg.InitWindow,
 		// Effectively unbounded until the first loss event.
@@ -86,6 +91,8 @@ func NewSender(h *host.Host, met *metrics.Collector, cfg Config, ids *packet.IDG
 	if cfg.Protocol == Swift {
 		s.cwnd = math.Min(cfg.InitWindow, cfg.Swift.MaxCwnd)
 	}
+	s.onRTOFn = s.onRTO
+	s.trySendFn = s.trySend
 	return s
 }
 
@@ -158,8 +165,8 @@ func (s *Sender) paceGate() bool {
 	if now >= s.nextSendAt {
 		return true
 	}
-	if s.pacingTimer == nil || !s.pacingTimer.Pending() {
-		s.pacingTimer = s.eng.At(s.nextSendAt, s.trySend)
+	if !s.pacingTimer.Pending() {
+		s.pacingTimer = s.eng.At(s.nextSendAt, s.trySendFn)
 	}
 	return false
 }
@@ -211,7 +218,8 @@ func (s *Sender) trySend() {
 
 func (s *Sender) transmit(seq int64, payload int, fin, retx bool) {
 	now := s.eng.Now()
-	p := &packet.Packet{
+	p := s.pool.Get()
+	*p = packet.Packet{
 		ID:         s.ids.Next(),
 		Kind:       packet.Data,
 		Src:        s.spec.Src,
@@ -235,16 +243,14 @@ func (s *Sender) transmit(seq int64, payload int, fin, retx bool) {
 	if s.cfg.Protocol == Swift {
 		s.nextSendAt = now + s.pacingDelay()
 	}
-	if s.rtoTimer == nil || !s.rtoTimer.Pending() {
+	if !s.rtoTimer.Pending() {
 		s.armRTO()
 	}
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
-	s.rtoTimer = s.eng.After(s.rto, s.onRTO)
+	s.rtoTimer.Cancel()
+	s.rtoTimer = s.eng.After(s.rto, s.onRTOFn)
 }
 
 // onRTO handles a retransmission timeout: collapse the window, back off the
@@ -288,8 +294,15 @@ func (s *Sender) onRTO() {
 // debugRTO, when set by tests, observes every retransmission timeout.
 var debugRTO func(flow uint64, sndUna, nextSeq int64, now units.Time, rto units.Time, dupAcks int)
 
-// onAck processes one cumulative acknowledgment.
+// onAck consumes one acknowledgment: the sender is the packet's final owner,
+// so the frame is recycled after processing.
 func (s *Sender) onAck(p *packet.Packet) {
+	s.handleAck(p)
+	s.pool.Put(p)
+}
+
+// handleAck processes one cumulative acknowledgment.
+func (s *Sender) handleAck(p *packet.Packet) {
 	if s.done || p.Kind != packet.Ack {
 		return
 	}
@@ -500,12 +513,8 @@ func (s *Sender) clampSwift() {
 
 func (s *Sender) complete() {
 	s.done = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-	}
-	if s.pacingTimer != nil {
-		s.pacingTimer.Cancel()
-	}
+	s.rtoTimer.Cancel()
+	s.pacingTimer.Cancel()
 	s.h.Unbind(s.spec.ID)
 	if s.h.Marker != nil {
 		s.h.Marker.EndFlow(s.spec.ID)
