@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench exp-small exp-medium examples clean
+.PHONY: all build test test-short race vet bench bench-obs exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -24,8 +24,15 @@ race:
 	$(GO) test -race ./...
 
 # Regenerate every paper table/figure at benchmark (tiny) scale.
-bench:
+bench: bench-obs
 	$(GO) test -bench=. -benchmem ./...
+
+# Standing observability benchmark: a tiny instrumented fig1 sweep whose
+# manifest (events/sec, wall time, run count) is the tracked blob.
+bench-obs:
+	$(GO) run ./cmd/vertigo-exp -scale tiny -sample-tick 200us -out artifacts fig1 >/dev/null
+	cp artifacts/manifest.json BENCH_obs.json
+	@echo "BENCH_obs.json:" && cat BENCH_obs.json
 
 # Regenerate every paper table/figure from the CLI.
 exp-small:

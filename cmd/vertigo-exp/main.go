@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	vertigo-exp [-scale tiny|small|medium|paper] [-v] <experiment>...
+//	vertigo-exp [-scale tiny|small|medium|paper] [-v] [-out DIR] <experiment>...
 //	vertigo-exp -list
 //	vertigo-exp all
 //
@@ -10,6 +10,11 @@
 // fig5–fig13, table2, table3, sec2, plus the extra "defset" ablation.
 // Absolute numbers depend on the scale; the orderings and trends are the
 // reproduction targets (see EXPERIMENTS.md).
+//
+// With -out, every invocation writes a self-describing artifact directory:
+// manifest.json (what ran, toolchain, throughput), results.json (tables plus
+// every run's summary and engine/pool counters), and — when -sample-tick or
+// -trace-flow are set — samples.csv and trace.jsonl.
 package main
 
 import (
@@ -17,21 +22,41 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"sync"
+	"time"
 
 	"vertigo/internal/exp"
+	"vertigo/internal/units"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "vertigo-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	var (
 		scale   = flag.String("scale", "small", "scale preset: tiny|small|medium|paper")
-		verbose = flag.Bool("v", false, "print one progress line per simulation run")
+		verbose = flag.Bool("v", false, "print one progress line per simulation run (label, metrics, wall time, events/sec)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		par     = flag.Int("parallel", 1, "experiments to run concurrently (tables still print in order)")
 		jobs    = flag.Int("j", exp.Concurrency,
 			"simulations to run concurrently within each experiment (1 = sequential; tables are identical at any setting)")
+
+		outDir     = flag.String("out", "", "write run artifacts (manifest.json, results.json, samples.csv, trace.jsonl) into this directory")
+		sampleTick = flag.Duration("sample-tick", 0, "per-port queue/utilization sampling tick, e.g. 100us (0 = off; series lands in -out samples.csv)")
+		traceFlow  = flag.Uint64("trace-flow", 0, "JSONL packet trace for this flow ID (0 = off; trace lands in -out trace.jsonl)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
 	exp.Concurrency = max(1, *jobs)
@@ -41,16 +66,16 @@ func main() {
 			e, _ := exp.ByID(id)
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
 	sc, err := exp.ScaleByName(*scale)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *verbose {
@@ -59,9 +84,46 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vertigo-exp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vertigo-exp: memprofile:", err)
+			}
+		}()
+	}
+
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: vertigo-exp [-scale S] [-j N] [-parallel N] [-csv DIR] [-v] <experiment>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: vertigo-exp [-scale S] [-j N] [-parallel N] [-csv DIR] [-out DIR] [-v] <experiment>... | all | -list")
 		os.Exit(2)
 	}
 	var ids []string
@@ -79,10 +141,20 @@ func main() {
 	for i, id := range ids {
 		e, err := exp.ByID(strings.ToLower(id))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		exps[i] = e
+		ids[i] = e.ID
 	}
+
+	exp.SampleTick = units.FromDuration(*sampleTick)
+	exp.TraceFlow = *traceFlow
+	var rec *exp.Recorder
+	if *outDir != "" {
+		rec = exp.NewRecorder()
+		exp.OnRun = rec.Record
+	}
+	start := time.Now()
 
 	// Experiments are independent deterministic simulations: run up to
 	// -parallel of them concurrently, but print results in request order.
@@ -106,11 +178,13 @@ func main() {
 	}
 	wg.Wait()
 
+	var allTables []*exp.Table
 	for _, r := range results {
 		if r.err != nil {
-			fatal(r.err)
+			return r.err
 		}
 		tables := r.tables
+		allTables = append(allTables, tables...)
 		for i, t := range tables {
 			t.Fprint(os.Stdout)
 			fmt.Println()
@@ -121,20 +195,25 @@ func main() {
 				}
 				f, err := os.Create(filepath.Join(*csvDir, name))
 				if err != nil {
-					fatal(err)
+					return err
 				}
 				if err := t.WriteCSV(f); err != nil {
-					fatal(err)
+					return err
 				}
 				if err := f.Close(); err != nil {
-					fatal(err)
+					return err
 				}
 			}
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vertigo-exp:", err)
-	os.Exit(1)
+	if rec != nil {
+		m := exp.BuildManifest(ids, sc, rec, start, time.Since(start))
+		if err := exp.WriteArtifacts(*outDir, m, allTables, rec); err != nil {
+			return fmt.Errorf("writing artifacts: %w", err)
+		}
+		fmt.Printf("artifacts: %s (%d runs, %.2fs wall, %.2fM events/s)\n",
+			*outDir, m.Runs, m.WallSeconds, m.EventsPerSec/1e6)
+	}
+	return nil
 }

@@ -75,9 +75,16 @@ type Config struct {
 	TelemetryConfig telemetry.Config
 	// PacketTrace, when non-nil, receives one line per dataplane event
 	// (fleet-wide packet capture); PacketTraceFlow filters to one flow
-	// (0 = all flows — beware volume).
+	// (0 = all flows — beware volume). PacketTraceJSON selects JSONL
+	// (trace.jsonl) instead of text lines.
 	PacketTrace     io.Writer
 	PacketTraceFlow uint64
+	PacketTraceJSON bool
+
+	// SampleTick, when positive, attaches a telemetry.Sampler recording
+	// per-port queue occupancy and utilization on that tick; the series is
+	// returned in Result.Sampler.
+	SampleTick units.Time
 
 	// LinkFailures schedules dataplane link failures (an extension beyond
 	// the paper: deflection-capable schemes route around carrier loss in
@@ -148,8 +155,14 @@ type Result struct {
 	Summary   *metrics.Summary
 	Collector *metrics.Collector
 	Events    uint64
+	// Engine and Pool snapshot the runtime's self-instrumentation: how much
+	// work the run did and how well the event/packet free lists recycled.
+	Engine sim.EngineStats
+	Pool   packet.PoolStats
 	// Telemetry is non-nil when Config.Telemetry was set.
 	Telemetry *telemetry.Monitor
+	// Sampler is non-nil when Config.SampleTick was positive.
+	Sampler *telemetry.Sampler
 }
 
 // Run executes the scenario and returns its results.
@@ -178,27 +191,27 @@ func Run(cfg Config) (*Result, error) {
 	net := fabric.New(eng, t, met, cfg.Fabric)
 	ids := &packet.IDGen{}
 
+	// Probes attach independently; the fabric fans events out through a
+	// telemetry.Multi when more than one is present.
 	var mon *telemetry.Monitor
 	var tracer *telemetry.Tracer
-	var observers telemetry.Tee
+	var sampler *telemetry.Sampler
 	if cfg.Telemetry {
 		mon = telemetry.NewMonitor(eng, cfg.TelemetryConfig)
-		observers = append(observers, mon)
+		net.AddObserver(mon)
 	}
 	if cfg.PacketTrace != nil {
-		tracer = telemetry.NewTracer(eng, cfg.PacketTrace, cfg.PacketTraceFlow)
-		observers = append(observers, tracer)
-	}
-	switch len(observers) {
-	case 0:
-	case 1:
-		if mon != nil {
-			net.SetObserver(mon)
+		if cfg.PacketTraceJSON {
+			tracer = telemetry.NewJSONTracer(eng, cfg.PacketTrace, cfg.PacketTraceFlow)
 		} else {
-			net.SetObserver(tracer)
+			tracer = telemetry.NewTracer(eng, cfg.PacketTrace, cfg.PacketTraceFlow)
 		}
-	default:
-		net.SetObserver(observers)
+		net.AddObserver(tracer)
+	}
+	if cfg.SampleTick > 0 {
+		sampler = telemetry.NewSampler(eng, telemetry.SamplerConfig{Tick: cfg.SampleTick})
+		sampler.Start(cfg.SimTime)
+		net.AddObserver(sampler)
 	}
 	for _, lf := range cfg.LinkFailures {
 		if err := net.FailLinkAt(lf.Link, lf.At); err != nil {
@@ -282,6 +295,9 @@ func Run(cfg Config) (*Result, error) {
 		Summary:   met.Summarize(end),
 		Collector: met,
 		Events:    eng.Events(),
+		Engine:    eng.Stats(),
+		Pool:      net.Pool().Stats(),
 		Telemetry: mon,
+		Sampler:   sampler,
 	}, nil
 }

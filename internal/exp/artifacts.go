@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/units"
+)
+
+// Manifest records one vertigo-exp invocation: what was asked for, the
+// toolchain that produced it, and how much work it took. Written to
+// manifest.json so every artifact directory is self-describing.
+type Manifest struct {
+	Experiments []string   `json:"experiments"`
+	Scale       string     `json:"scale"`
+	Seed        int64      `json:"seed"`
+	Hosts       int        `json:"hosts"`
+	FatTreeK    int        `json:"fattree_k"`
+	SimTime     units.Time `json:"sim_time_ns"`
+	Concurrency int        `json:"concurrency"`
+
+	GoVersion string `json:"go_version"`
+	GitRev    string `json:"git_rev"`
+
+	StartTime    string  `json:"start_time"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Runs         int     `json:"runs"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// RunRecord is one simulation run's entry in results.json: the compacted
+// metrics summary plus the runtime self-instrumentation.
+type RunRecord struct {
+	Label        string           `json:"label"`
+	WallSeconds  float64          `json:"wall_seconds"`
+	EventsPerSec float64          `json:"events_per_sec"`
+	Engine       sim.EngineStats  `json:"engine"`
+	Pool         packet.PoolStats `json:"pool"`
+	Summary      *metrics.Summary `json:"summary"`
+}
+
+// results is the results.json document: the rendered tables and every
+// underlying run, sorted by label.
+type results struct {
+	Tables []*Table    `json:"tables"`
+	Runs   []RunRecord `json:"runs"`
+}
+
+// Recorder accumulates per-run artifacts. Install its Record method as
+// OnRun; OnRun calls are already serialized, so Recorder needs no lock of
+// its own.
+type Recorder struct {
+	runs    []RunRecord
+	samples bytes.Buffer
+	trace   bytes.Buffer
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record folds one run's instrumentation into the recorder. Summaries are
+// compacted (raw FCT/QCT series dropped, histograms kept) so results.json
+// stays proportional to the number of runs, not the number of flows.
+func (r *Recorder) Record(info RunInfo) {
+	r.runs = append(r.runs, RunRecord{
+		Label:        info.Label,
+		WallSeconds:  info.Wall.Seconds(),
+		EventsPerSec: info.EventsPerSec(),
+		Engine:       info.Engine,
+		Pool:         info.Pool,
+		Summary:      info.Summary.Compact(),
+	})
+	if info.Sampler != nil && len(info.Sampler.Samples()) > 0 {
+		header := r.samples.Len() == 0
+		// strings.Builder-backed CSV writes cannot fail; bytes.Buffer's
+		// Write never returns an error either.
+		_ = info.Sampler.WriteCSV(&r.samples, info.Label, header)
+	}
+	if len(info.Trace) > 0 {
+		fmt.Fprintf(&r.trace, "{\"run_start\":%q}\n", info.Label)
+		r.trace.Write(info.Trace)
+	}
+}
+
+// Runs returns the recorded runs sorted by label, so results.json is
+// deterministic regardless of worker completion order.
+func (r *Recorder) Runs() []RunRecord {
+	out := make([]RunRecord, len(r.runs))
+	copy(out, r.runs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// BuildManifest assembles the invocation manifest from the requested
+// experiments, the scale, and the recorded runs.
+func BuildManifest(ids []string, sc Scale, rec *Recorder, start time.Time, wall time.Duration) Manifest {
+	m := Manifest{
+		Experiments: ids,
+		Scale:       sc.Name,
+		Seed:        sc.Seed,
+		Hosts:       sc.Hosts(),
+		FatTreeK:    sc.FatTreeK,
+		SimTime:     sc.SimTime,
+		Concurrency: Concurrency,
+		GoVersion:   runtime.Version(),
+		GitRev:      gitRev(),
+		StartTime:   start.UTC().Format(time.RFC3339),
+		WallSeconds: wall.Seconds(),
+		Runs:        len(rec.runs),
+	}
+	for _, r := range rec.runs {
+		m.Events += r.Engine.Events
+	}
+	if s := wall.Seconds(); s > 0 {
+		m.EventsPerSec = float64(m.Events) / s
+	}
+	return m
+}
+
+// gitRev reports the VCS revision stamped into the binary by the go tool,
+// or "unknown" for non-VCS builds (go test, detached source trees).
+func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// WriteArtifacts writes the run artifact directory: manifest.json and
+// results.json always, samples.csv and trace.jsonl only when the recorder
+// captured any.
+func WriteArtifacts(dir string, m Manifest, tables []*Table, rec *Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, "results.json"), results{
+		Tables: tables,
+		Runs:   rec.Runs(),
+	}); err != nil {
+		return err
+	}
+	if rec.samples.Len() > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "samples.csv"), rec.samples.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	if rec.trace.Len() > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "trace.jsonl"), rec.trace.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("encoding %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}

@@ -5,16 +5,21 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"vertigo/internal/core"
 	"vertigo/internal/fabric"
 	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/telemetry"
 	"vertigo/internal/topo"
 	"vertigo/internal/transport"
 	"vertigo/internal/units"
@@ -80,11 +85,11 @@ func (sc Scale) Hosts() int { return sc.Leaves * sc.HostsPerLeaf }
 
 // Table is a rendered experiment result.
 type Table struct {
-	ID      string // e.g. "fig5"
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"` // e.g. "fig5"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // Add appends a row; cells are stringified with %v.
@@ -155,6 +160,40 @@ func (t *Table) Fprint(w io.Writer) {
 // Sweep workers report concurrently; calls are serialized by progressMu, so
 // the installed function need not be thread-safe itself.
 var Progress func(format string, args ...any)
+
+// OnRun, when non-nil, receives every completed run's instrumentation:
+// summary, engine/pool counters, sampler series and packet trace. Calls are
+// serialized under the same lock as Progress, so the installed function need
+// not be thread-safe; runs arrive in completion order (use RunInfo.Label to
+// regroup).
+var OnRun func(RunInfo)
+
+// SampleTick, when positive, attaches a telemetry.Sampler with this tick to
+// every experiment run; the series is delivered through OnRun.
+var SampleTick units.Time
+
+// TraceFlow, when nonzero, attaches a JSONL packet tracer filtered to this
+// flow ID on every experiment run; the trace is delivered through OnRun.
+var TraceFlow uint64
+
+// RunInfo is the per-run instrumentation handed to OnRun.
+type RunInfo struct {
+	Label   string
+	Summary *metrics.Summary
+	Engine  sim.EngineStats
+	Pool    packet.PoolStats
+	Sampler *telemetry.Sampler // nil unless SampleTick > 0
+	Trace   []byte             // JSONL packet trace; empty unless TraceFlow > 0
+	Wall    time.Duration
+}
+
+// EventsPerSec is the run's simulation throughput in events per wall second.
+func (ri *RunInfo) EventsPerSec() float64 {
+	if ri.Wall <= 0 {
+		return 0
+	}
+	return float64(ri.Engine.Events) / ri.Wall.Seconds()
+}
 
 var progressMu sync.Mutex
 
@@ -240,15 +279,47 @@ func withLoads(cfg core.Config, bg, total float64) core.Config {
 	return cfg
 }
 
-// run executes one scenario, reporting progress.
+// run executes one scenario, reporting progress and instrumentation.
 func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	if SampleTick > 0 && cfg.SampleTick == 0 {
+		cfg.SampleTick = SampleTick
+	}
+	var traceBuf *bytes.Buffer
+	if TraceFlow > 0 && cfg.PacketTrace == nil {
+		traceBuf = &bytes.Buffer{}
+		cfg.PacketTrace = traceBuf
+		cfg.PacketTraceFlow = TraceFlow
+		cfg.PacketTraceJSON = true
+	}
+	start := time.Now()
 	res, err := core.Run(cfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("exp: %s: %w", label, err)
 	}
-	progress("%-40s q=%4d/%4d QCT=%-10v FCT=%-10v drops=%d",
-		label, res.Summary.QueriesCompleted, res.Summary.QueriesStarted,
-		res.Summary.MeanQCT, res.Summary.MeanFCT, res.Summary.Drops)
+	info := RunInfo{
+		Label:   label,
+		Summary: res.Summary,
+		Engine:  res.Engine,
+		Pool:    res.Pool,
+		Sampler: res.Sampler,
+		Wall:    time.Since(start),
+	}
+	if traceBuf != nil {
+		info.Trace = traceBuf.Bytes()
+	}
+	// One critical section for both hooks, so a run's progress line and its
+	// OnRun record can never interleave with another worker's.
+	progressMu.Lock()
+	if Progress != nil {
+		Progress("%-40s q=%4d/%4d QCT=%-10v FCT=%-10v drops=%d wall=%.2fs ev/s=%.2fM",
+			label, res.Summary.QueriesCompleted, res.Summary.QueriesStarted,
+			res.Summary.MeanQCT, res.Summary.MeanFCT, res.Summary.Drops,
+			info.Wall.Seconds(), info.EventsPerSec()/1e6)
+	}
+	if OnRun != nil {
+		OnRun(info)
+	}
+	progressMu.Unlock()
 	return res.Summary, res.Collector, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
+	"vertigo/internal/telemetry"
 	"vertigo/internal/topo"
 	"vertigo/internal/units"
 )
@@ -168,8 +169,32 @@ func (n *Network) Pool() *packet.Pool {
 	return n.pool
 }
 
-// SetObserver installs a telemetry observer (nil to disable).
+// SetObserver installs o as the only telemetry observer, detaching any
+// already attached (nil to disable). Use AddObserver to attach several.
 func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// AddObserver attaches one more telemetry probe alongside any already
+// attached, fanning events out through a telemetry.Multi once more than one
+// is present. The no-observer fast path stays a single nil check — and zero
+// allocations — on every dataplane event; the mux allocates only here, at
+// attach time. Nil is a no-op.
+func (n *Network) AddObserver(o Observer) {
+	switch {
+	case o == nil:
+	case n.obs == nil:
+		n.obs = o
+	default:
+		if m, ok := n.obs.(*telemetry.Multi); ok {
+			m.Add(o)
+		} else {
+			n.obs = telemetry.NewMulti(n.obs, o)
+		}
+	}
+}
+
+// Observer returns the attached observer (a *telemetry.Multi when several
+// probes are attached), or nil.
+func (n *Network) Observer() Observer { return n.obs }
 
 // New builds the runtime network for t.
 func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) *Network {

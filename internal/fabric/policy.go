@@ -234,11 +234,15 @@ func (s *Switch) pickPowerOfN(cands []int, n int) int {
 		n = len(cands)
 	}
 	best := -1
-	// Partial Fisher-Yates over a stack copy for distinct samples.
-	idx := make([]int, len(cands))
-	for k := range idx {
-		idx[k] = cands[k]
+	// Partial Fisher-Yates over a stack copy for distinct samples. The
+	// fixed-size buffer keeps this zero-alloc for any realistic radix; only
+	// pathological port counts fall back to the heap.
+	var stack [64]int
+	idx := stack[:0]
+	if len(cands) > len(stack) {
+		idx = make([]int, 0, len(cands))
 	}
+	idx = append(idx, cands...)
 	for k := 0; k < n; k++ {
 		j := k + rng.Intn(len(idx)-k)
 		idx[k], idx[j] = idx[j], idx[k]

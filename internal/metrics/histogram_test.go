@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count %d, want 9", h.Count())
+	}
+	want := []Bucket{
+		{0, 0, 1},       // 0
+		{1, 1, 1},       // 1
+		{2, 3, 2},       // 2, 3
+		{4, 7, 2},       // 4, 7
+		{8, 15, 1},      // 8
+		{512, 1023, 1},  // 1023
+		{1024, 2047, 1}, // 1024
+	}
+	if got := h.Buckets(); !reflect.DeepEqual(got, want) {
+		t.Errorf("buckets %v, want %v", got, want)
+	}
+	if h.Min() != 0 || h.Max() != 1024 {
+		t.Errorf("min/max %d/%d, want 0/1024", h.Min(), h.Max())
+	}
+	if h.Sum() != 2072 {
+		t.Errorf("sum %d, want 2072", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Quantile returns the bucket's upper edge, so the estimate is within a
+	// factor of two above the exact value.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		exact := q * 1000
+		got := float64(h.Quantile(q))
+		if got < exact || got > 2*exact+1 {
+			t.Errorf("Quantile(%.2f) = %.0f, want within [%.0f, %.0f]", q, got, exact, 2*exact+1)
+		}
+	}
+	if h.Quantile(1) != 1000 {
+		t.Errorf("Quantile(1) = %d, want exact max 1000", h.Quantile(1))
+	}
+	if h.Quantile(0) != 1 {
+		t.Errorf("Quantile(0) = %d, want exact min 1", h.Quantile(0))
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Errorf("mean %.3f, want 500.5", h.Mean())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram scalars not all zero")
+	}
+	if h.Buckets() != nil {
+		t.Error("empty histogram has buckets")
+	}
+	if h.String() != "hist{empty}" {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for v := int64(1); v <= 10; v++ {
+		a.Observe(v)
+		b.Observe(v * 100)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != 20 || a.Min() != 1 || a.Max() != 1000 {
+		t.Errorf("merged count/min/max = %d/%d/%d", a.Count(), a.Min(), a.Max())
+	}
+	if a.Sum() != 55+5500 {
+		t.Errorf("merged sum %d, want %d", a.Sum(), 55+5500)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 5, 40_000, 2_000_000_000} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Histogram{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h, back) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", back, h)
+	}
+	// Empty histogram round-trips too.
+	data, err = json.Marshal(&Histogram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back = &Histogram{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Errorf("empty round trip has count %d", back.Count())
+	}
+}

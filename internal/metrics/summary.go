@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"vertigo/internal/units"
@@ -14,47 +16,54 @@ const (
 )
 
 // Summary is the digest of one simulation run: every scalar the paper's
-// tables and figures report.
+// tables and figures report. The JSON tags are the one schema shared by
+// results.json artifacts and any downstream tooling; time fields are
+// nanoseconds, rates are bits per second.
 type Summary struct {
-	Duration units.Time
+	Duration units.Time `json:"duration_ns"`
 
 	// Flows (all classes).
-	FlowsStarted    int
-	FlowsCompleted  int
-	FlowCompletionP float64 // percent
-	MeanFCT         units.Time
-	P99FCT          units.Time
+	FlowsStarted    int        `json:"flows_started"`
+	FlowsCompleted  int        `json:"flows_completed"`
+	FlowCompletionP float64    `json:"flow_completion_pct"` // percent
+	MeanFCT         units.Time `json:"mean_fct_ns"`
+	P99FCT          units.Time `json:"p99_fct_ns"`
 
 	// Mice / elephant breakdown over completed flows.
-	MeanMiceFCT     units.Time
-	ElephantGoodput units.BitRate // mean per-elephant-flow goodput
-	ElephantFlows   int
+	MeanMiceFCT     units.Time    `json:"mean_mice_fct_ns"`
+	ElephantGoodput units.BitRate `json:"elephant_goodput_bps"` // mean per-elephant-flow goodput
+	ElephantFlows   int           `json:"elephant_flows"`
 
 	// Incast queries.
-	QueriesStarted   int
-	QueriesCompleted int
-	QueryCompletionP float64
-	MeanQCT          units.Time
-	P99QCT           units.Time
+	QueriesStarted   int        `json:"queries_started"`
+	QueriesCompleted int        `json:"queries_completed"`
+	QueryCompletionP float64    `json:"query_completion_pct"`
+	MeanQCT          units.Time `json:"mean_qct_ns"`
+	P99QCT           units.Time `json:"p99_qct_ns"`
 
 	// Network counters.
-	PacketsSent    int64
-	PacketsRecv    int64
-	Drops          int64
-	DropRate       float64 // drops / data packets sent
-	Deflections    int64
-	ECNMarks       int64
-	MeanHops       float64
-	Retransmits    int64
-	RTOs           int64
-	FastRetx       int64
-	ReorderPkts    int64
-	ReorderRate    float64 // reordered / delivered
-	OverallGoodput units.BitRate
+	PacketsSent    int64         `json:"packets_sent"`
+	PacketsRecv    int64         `json:"packets_recv"`
+	Drops          int64         `json:"drops"`
+	DropRate       float64       `json:"drop_rate"` // drops / data packets sent
+	Deflections    int64         `json:"deflections"`
+	ECNMarks       int64         `json:"ecn_marks"`
+	MeanHops       float64       `json:"mean_hops"`
+	Retransmits    int64         `json:"retransmits"`
+	RTOs           int64         `json:"rtos"`
+	FastRetx       int64         `json:"fast_retx"`
+	ReorderPkts    int64         `json:"reorder_pkts"`
+	ReorderRate    float64       `json:"reorder_rate"` // reordered / delivered
+	OverallGoodput units.BitRate `json:"overall_goodput_bps"`
+
+	// Log-bucketed completion-time distributions: the whole shape survives
+	// serialization even when the raw series are stripped (Compact).
+	FCTHist *Histogram `json:"fct_hist,omitempty"`
+	QCTHist *Histogram `json:"qct_hist,omitempty"`
 
 	// Raw series kept for CDF figures.
-	FCTs []units.Time
-	QCTs []units.Time
+	FCTs []units.Time `json:"fcts_ns,omitempty"`
+	QCTs []units.Time `json:"qcts_ns,omitempty"`
 }
 
 // Summarize digests the collector at simulation end time end.
@@ -89,6 +98,7 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 	s.MeanFCT = Mean(s.FCTs)
 	s.P99FCT = Percentile(s.FCTs, 99)
 	s.MeanMiceFCT = Mean(miceFCTs)
+	s.FCTHist = histOfTimes(s.FCTs)
 
 	for i := range c.Queries {
 		q := &c.Queries[i]
@@ -103,6 +113,7 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 	}
 	s.MeanQCT = Mean(s.QCTs)
 	s.P99QCT = Percentile(s.QCTs, 99)
+	s.QCTHist = histOfTimes(s.QCTs)
 
 	s.PacketsSent = c.PacketsSent
 	s.PacketsRecv = c.PacketsRecv
@@ -126,6 +137,48 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 		s.OverallGoodput = units.BitRate(8 * float64(c.BytesGoodput) / end.Seconds())
 	}
 	return s
+}
+
+// histOfTimes builds a log-bucketed histogram of a time series, or nil for
+// an empty one.
+func histOfTimes(ts []units.Time) *Histogram {
+	if len(ts) == 0 {
+		return nil
+	}
+	h := &Histogram{}
+	for _, t := range ts {
+		h.Observe(int64(t))
+	}
+	return h
+}
+
+// Encode writes the summary as indented JSON. Together with DecodeSummary it
+// is the round-trippable schema behind every results.json artifact.
+func (s *Summary) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// DecodeSummary reads a summary previously written by Encode (or any JSON
+// object in the same schema).
+func DecodeSummary(r io.Reader) (*Summary, error) {
+	s := &Summary{}
+	if err := json.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("metrics: decoding summary: %w", err)
+	}
+	return s, nil
+}
+
+// Compact returns a copy of the summary without the raw FCT/QCT series,
+// suitable for per-run artifact records: the histograms preserve the
+// distribution shape at a fraction of the bytes (a paper-scale run carries
+// millions of raw samples).
+func (s *Summary) Compact() *Summary {
+	c := *s
+	c.FCTs = nil
+	c.QCTs = nil
+	return &c
 }
 
 // String renders a human-readable block, used by cmd/vertigo-sim.

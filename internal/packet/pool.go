@@ -14,6 +14,10 @@ package packet
 // own. A nil *Pool is valid and degrades to plain allocation.
 type Pool struct {
 	free []*Packet
+
+	gets uint64 // Get calls
+	hits uint64 // Get calls served from the free list
+	puts uint64 // Put calls
 }
 
 // Get returns a packet for the caller to initialize. The packet's fields are
@@ -23,10 +27,12 @@ func (pl *Pool) Get() *Packet {
 	if pl == nil {
 		return &Packet{}
 	}
+	pl.gets++
 	if n := len(pl.free); n > 0 {
 		p := pl.free[n-1]
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
+		pl.hits++
 		return p
 	}
 	return &Packet{}
@@ -37,6 +43,7 @@ func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
 	}
+	pl.puts++
 	pl.free = append(pl.free, p)
 }
 
@@ -46,4 +53,28 @@ func (pl *Pool) Len() int {
 		return 0
 	}
 	return len(pl.free)
+}
+
+// PoolStats snapshots a pool's recycle counters: at steady state Hits/Gets
+// approaches 1 and the send path stops allocating packets.
+type PoolStats struct {
+	Gets uint64 `json:"gets"` // packets handed out
+	Hits uint64 `json:"hits"` // handed-out packets that were recycled frames
+	Puts uint64 `json:"puts"` // packets returned
+}
+
+// RecycleRate returns Hits/Gets (0 when nothing was handed out).
+func (s PoolStats) RecycleRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// Stats returns the pool's counters. Nil-safe: a nil pool reports zeros.
+func (pl *Pool) Stats() PoolStats {
+	if pl == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Gets: pl.gets, Hits: pl.hits, Puts: pl.puts}
 }

@@ -54,3 +54,27 @@ func TestPoolSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("Get/Put cycle allocates %.2f, want 0", avg)
 	}
 }
+
+func TestPoolStats(t *testing.T) {
+	pl := &Pool{}
+	a := pl.Get() // miss
+	pl.Put(a)
+	b := pl.Get() // hit
+	_ = pl.Get()  // miss
+	pl.Put(b)
+	st := pl.Stats()
+	if st != (PoolStats{Gets: 3, Hits: 1, Puts: 2}) {
+		t.Fatalf("stats %+v, want {3 1 2}", st)
+	}
+	if got := st.RecycleRate(); got != 1.0/3.0 {
+		t.Fatalf("recycle rate %v, want 1/3", got)
+	}
+	var nilPool *Pool
+	if nilPool.Stats() != (PoolStats{}) {
+		t.Fatal("nil pool stats not zero")
+	}
+	nilPool.Get()
+	if (PoolStats{}).RecycleRate() != 0 {
+		t.Fatal("zero stats recycle rate not 0")
+	}
+}

@@ -284,3 +284,47 @@ func TestEventCount(t *testing.T) {
 		t.Fatalf("Events() = %d, want 10", eng.Events())
 	}
 }
+
+func TestEngineStats(t *testing.T) {
+	eng := NewEngine(1)
+	// First wave: 10 fresh events, nothing recycled yet.
+	for i := 0; i < 10; i++ {
+		eng.At(units.Time(i), func() {})
+	}
+	eng.Run(units.Second)
+	st := eng.Stats()
+	if st.Events != 10 || st.Scheduled != 10 {
+		t.Fatalf("after first wave: %+v", st)
+	}
+	if st.FreeListHits != 0 {
+		t.Fatalf("fresh events reported free-list hits: %+v", st)
+	}
+	if st.PeakPending != 10 {
+		t.Fatalf("peak pending %d, want 10", st.PeakPending)
+	}
+	// Second wave: 5 events, all served from the recycled 10.
+	for i := 0; i < 5; i++ {
+		eng.After(units.Time(i), func() {})
+	}
+	eng.Run(2 * units.Second)
+	st = eng.Stats()
+	if st.Events != 15 || st.Scheduled != 15 || st.FreeListHits != 5 {
+		t.Fatalf("after second wave: %+v", st)
+	}
+	if st.PeakPending != 10 {
+		t.Fatalf("peak pending %d, want 10 (second wave was smaller)", st.PeakPending)
+	}
+	if got := st.FreeListHitRate(); got != 5.0/15.0 {
+		t.Fatalf("hit rate %v, want 1/3", got)
+	}
+}
+
+func TestEngineStatsZero(t *testing.T) {
+	var st EngineStats
+	if st.FreeListHitRate() != 0 {
+		t.Fatal("zero stats hit rate not 0")
+	}
+	if got := NewEngine(1).Stats(); got != (EngineStats{}) {
+		t.Fatalf("fresh engine stats %+v, want zeros", got)
+	}
+}

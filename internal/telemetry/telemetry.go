@@ -98,7 +98,10 @@ type Monitor struct {
 	// DeflectionHist[n] counts delivered data packets that were deflected
 	// exactly n times (n capped at len-1).
 	DeflectionHist [17]int64
-	Delivered      int64
+	// DeflPerPacket is the same distribution as a log-bucketed
+	// metrics.Histogram, uncapped and serializable into run artifacts.
+	DeflPerPacket metrics.Histogram
+	Delivered     int64
 }
 
 // NewMonitor returns a monitor reading simulated time from eng.
@@ -163,6 +166,7 @@ func (m *Monitor) Deliver(host int, p *packet.Packet) {
 		return
 	}
 	m.Delivered++
+	m.DeflPerPacket.Observe(int64(p.Deflections))
 	n := p.Deflections
 	if n >= len(m.DeflectionHist) {
 		n = len(m.DeflectionHist) - 1

@@ -16,21 +16,34 @@ import (
 // filter to keep traces tractable; an unfiltered trace of a busy run is
 // gigabytes.
 //
-// Line format (space-separated):
+// Text line format (space-separated):
 //
 //	<time_ns> <event> sw=<id> port=<p> flow=<f> seq=<s> rfs=<r> extra...
+//
+// JSONL mode (NewJSONTracer) writes the same events as one JSON object per
+// line, the trace.jsonl artifact format:
+//
+//	{"t":<ns>,"ev":"enq","sw":1,"port":2,"kind":"data","flow":7,...,"occ":4500}
 type Tracer struct {
-	eng  *sim.Engine
-	w    *bufio.Writer
-	flow uint64 // 0 = trace everything
+	eng   *sim.Engine
+	w     *bufio.Writer
+	flow  uint64 // 0 = trace everything
+	jsonl bool
 	// Lines counts emitted events.
 	Lines int64
 }
 
-// NewTracer returns a tracer writing to w; flow filters to one flow ID
-// (0 traces all flows — beware volume).
+// NewTracer returns a tracer writing text lines to w; flow filters to one
+// flow ID (0 traces all flows — beware volume).
 func NewTracer(eng *sim.Engine, w io.Writer, flow uint64) *Tracer {
 	return &Tracer{eng: eng, w: bufio.NewWriter(w), flow: flow}
+}
+
+// NewJSONTracer is NewTracer emitting one JSON object per event (JSONL).
+func NewJSONTracer(eng *sim.Engine, w io.Writer, flow uint64) *Tracer {
+	t := NewTracer(eng, w, flow)
+	t.jsonl = true
+	return t
 }
 
 // Flush drains buffered trace lines; call at simulation end.
@@ -38,82 +51,59 @@ func (t *Tracer) Flush() error { return t.w.Flush() }
 
 func (t *Tracer) want(p *packet.Packet) bool { return t.flow == 0 || p.Flow == t.flow }
 
-func (t *Tracer) emit(event string, sw, port int, p *packet.Packet, extra string) {
+// emit writes one event. extraKey/extraNum carry the event-specific numeric
+// field (occ, busy, to); extraStr carries drop's reason. Event names, packet
+// kinds and drop reasons are fixed identifier strings, so the hand-rolled
+// JSON needs no escaping.
+func (t *Tracer) emit(event string, sw, port int, p *packet.Packet, extraKey string, extraNum int64, extraStr string) {
 	if !t.want(p) {
 		return
 	}
 	t.Lines++
-	fmt.Fprintf(t.w, "%d %s sw=%d port=%d kind=%s flow=%d seq=%d rfs=%d hops=%d defl=%d%s\n",
+	if t.jsonl {
+		fmt.Fprintf(t.w, `{"t":%d,"ev":"%s","sw":%d,"port":%d,"kind":"%s","flow":%d,"seq":%d,"rfs":%d,"hops":%d,"defl":%d`,
+			int64(t.eng.Now()), event, sw, port, p.Kind, p.Flow, p.Seq,
+			p.Rank(), p.Hops, p.Deflections)
+		if extraStr != "" {
+			fmt.Fprintf(t.w, `,"%s":"%s"`, extraKey, extraStr)
+		} else if extraKey != "" {
+			fmt.Fprintf(t.w, `,"%s":%d`, extraKey, extraNum)
+		}
+		t.w.WriteString("}\n")
+		return
+	}
+	fmt.Fprintf(t.w, "%d %s sw=%d port=%d kind=%s flow=%d seq=%d rfs=%d hops=%d defl=%d",
 		int64(t.eng.Now()), event, sw, port, p.Kind, p.Flow, p.Seq,
-		p.Rank(), p.Hops, p.Deflections, extra)
+		p.Rank(), p.Hops, p.Deflections)
+	if extraStr != "" {
+		fmt.Fprintf(t.w, " %s=%s", extraKey, extraStr)
+	} else if extraKey != "" {
+		fmt.Fprintf(t.w, " %s=%d", extraKey, extraNum)
+	}
+	t.w.WriteByte('\n')
 }
 
 // Enqueue implements fabric.Observer.
 func (t *Tracer) Enqueue(sw, port int, p *packet.Packet, occ units.ByteSize) {
-	t.emit("enq", sw, port, p, fmt.Sprintf(" occ=%d", int64(occ)))
+	t.emit("enq", sw, port, p, "occ", int64(occ), "")
 }
 
 // Transmit implements fabric.Observer.
 func (t *Tracer) Transmit(sw, port int, p *packet.Packet, busy units.Time, occ units.ByteSize) {
-	t.emit("tx", sw, port, p, fmt.Sprintf(" busy=%d", int64(busy)))
+	t.emit("tx", sw, port, p, "busy", int64(busy), "")
 }
 
 // Deflect implements fabric.Observer.
 func (t *Tracer) Deflect(sw, fromPort, toPort int, p *packet.Packet) {
-	t.emit("deflect", sw, fromPort, p, fmt.Sprintf(" to=%d", toPort))
+	t.emit("deflect", sw, fromPort, p, "to", int64(toPort), "")
 }
 
 // Drop implements fabric.Observer.
 func (t *Tracer) Drop(sw, port int, p *packet.Packet, reason metrics.DropReason) {
-	t.emit("drop", sw, port, p, " reason="+reason.String())
+	t.emit("drop", sw, port, p, "reason", 0, reason.String())
 }
 
 // Deliver implements fabric.Observer.
 func (t *Tracer) Deliver(host int, p *packet.Packet) {
-	t.emit("deliver", -1, host, p, "")
-}
-
-// Tee fans one fabric event stream out to several observers (e.g. a Monitor
-// plus a Tracer).
-type Tee []interface {
-	Enqueue(sw, port int, p *packet.Packet, occ units.ByteSize)
-	Transmit(sw, port int, p *packet.Packet, busy units.Time, occ units.ByteSize)
-	Deflect(sw, fromPort, toPort int, p *packet.Packet)
-	Drop(sw, port int, p *packet.Packet, reason metrics.DropReason)
-	Deliver(host int, p *packet.Packet)
-}
-
-// Enqueue implements fabric.Observer.
-func (t Tee) Enqueue(sw, port int, p *packet.Packet, occ units.ByteSize) {
-	for _, o := range t {
-		o.Enqueue(sw, port, p, occ)
-	}
-}
-
-// Transmit implements fabric.Observer.
-func (t Tee) Transmit(sw, port int, p *packet.Packet, busy units.Time, occ units.ByteSize) {
-	for _, o := range t {
-		o.Transmit(sw, port, p, busy, occ)
-	}
-}
-
-// Deflect implements fabric.Observer.
-func (t Tee) Deflect(sw, fromPort, toPort int, p *packet.Packet) {
-	for _, o := range t {
-		o.Deflect(sw, fromPort, toPort, p)
-	}
-}
-
-// Drop implements fabric.Observer.
-func (t Tee) Drop(sw, port int, p *packet.Packet, reason metrics.DropReason) {
-	for _, o := range t {
-		o.Drop(sw, port, p, reason)
-	}
-}
-
-// Deliver implements fabric.Observer.
-func (t Tee) Deliver(host int, p *packet.Packet) {
-	for _, o := range t {
-		o.Deliver(host, p)
-	}
+	t.emit("deliver", -1, host, p, "", 0, "")
 }
