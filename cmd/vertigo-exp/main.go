@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"vertigo/internal/exp"
+	"vertigo/internal/faults"
 	"vertigo/internal/units"
 )
 
@@ -53,6 +55,11 @@ func realMain() error {
 		outDir     = flag.String("out", "", "write run artifacts (manifest.json, results.json, samples.csv, trace.jsonl) into this directory")
 		sampleTick = flag.Duration("sample-tick", 0, "per-port queue/utilization sampling tick, e.g. 100us (0 = off; series lands in -out samples.csv)")
 		traceFlow  = flag.Uint64("trace-flow", 0, "JSONL packet trace for this flow ID (0 = off; trace lands in -out trace.jsonl)")
+
+		faultSpec = flag.String("fault", "",
+			`fault schedule injected into every run, e.g. "flap@10ms:link=64,down=1ms,period=4ms,count=3" (see internal/faults)`)
+		healDelay  = flag.Duration("heal-delay", 0, "control-plane healing delay after each -fault topology change (0 = healing off)")
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run; an over-budget run fails its row (0 = unlimited)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -149,6 +156,15 @@ func realMain() error {
 
 	exp.SampleTick = units.FromDuration(*sampleTick)
 	exp.TraceFlow = *traceFlow
+	if *faultSpec != "" {
+		sched, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		exp.FaultSchedule = sched
+	}
+	exp.HealDelay = units.FromDuration(*healDelay)
+	exp.RunTimeout = *runTimeout
 	var rec *exp.Recorder
 	if *outDir != "" {
 		rec = exp.NewRecorder()
@@ -178,10 +194,14 @@ func realMain() error {
 	}
 	wg.Wait()
 
+	// Failures no longer void an invocation: each experiment's surviving
+	// tables still print and land in the artifacts, and the errors come back
+	// aggregated at the end.
 	var allTables []*exp.Table
-	for _, r := range results {
+	var runErrs []error
+	for i, r := range results {
 		if r.err != nil {
-			return r.err
+			runErrs = append(runErrs, fmt.Errorf("%s: %w", exps[i].ID, r.err))
 		}
 		tables := r.tables
 		allTables = append(allTables, tables...)
@@ -212,8 +232,8 @@ func realMain() error {
 		if err := exp.WriteArtifacts(*outDir, m, allTables, rec); err != nil {
 			return fmt.Errorf("writing artifacts: %w", err)
 		}
-		fmt.Printf("artifacts: %s (%d runs, %.2fs wall, %.2fM events/s)\n",
-			*outDir, m.Runs, m.WallSeconds, m.EventsPerSec/1e6)
+		fmt.Printf("artifacts: %s (%d runs, %d failed, %.2fs wall, %.2fM events/s)\n",
+			*outDir, m.Runs, m.FailedRuns, m.WallSeconds, m.EventsPerSec/1e6)
 	}
-	return nil
+	return errors.Join(runErrs...)
 }

@@ -8,8 +8,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"vertigo/internal/fabric"
+	"vertigo/internal/faults"
 	"vertigo/internal/host"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
@@ -89,7 +91,21 @@ type Config struct {
 	// LinkFailures schedules dataplane link failures (an extension beyond
 	// the paper: deflection-capable schemes route around carrier loss in
 	// place, while ECMP/DRILL blackhole until the control plane would heal).
+	// These are permanent; for transient faults use Faults.
 	LinkFailures []LinkFailure
+
+	// Faults, when non-empty, replays a fault schedule into the fabric:
+	// transient link flaps, switch failures, bit-error corruption and rate
+	// brownouts (see internal/faults).
+	Faults *faults.Schedule
+	// HealDelay, when positive, enables control-plane healing: HealDelay
+	// after each Faults topology change, freshly computed FIBs that route
+	// around everything still failed are installed fabric-wide. Zero leaves
+	// the static FIBs in place (dataplane-only recovery).
+	HealDelay units.Time
+	// WallTimeout, when positive, bounds the run's real elapsed time; a run
+	// that exceeds it aborts with an error rather than hanging its worker.
+	WallTimeout time.Duration
 }
 
 // LinkFailure kills one topology link at a point in simulated time.
@@ -150,6 +166,52 @@ func (c *Config) SetIncastLoad(load float64) {
 	c.IncastQPS = workload.QPSForLoad(load, c.NumHosts(), c.IncastScale, c.IncastFlowSize, c.HostRate())
 }
 
+// Validate rejects configurations that cannot describe a runnable scenario:
+// non-positive durations, empty topologies, negative loads, and fault events
+// outside the simulated window. Index bounds that need the built topology
+// (link and switch numbers) are checked in Run. Run calls Validate itself;
+// call it directly to fail fast before committing a worker to the run.
+func (c *Config) Validate() error {
+	if c.SimTime <= 0 {
+		return fmt.Errorf("core: non-positive sim time %v", c.SimTime)
+	}
+	if n := c.NumHosts(); n <= 0 {
+		return fmt.Errorf("core: topology %q has %d hosts; need at least 1", c.Kind, n)
+	}
+	if c.BGLoad < 0 {
+		return fmt.Errorf("core: negative background load %g", c.BGLoad)
+	}
+	if c.IncastQPS < 0 {
+		return fmt.Errorf("core: negative incast rate %g qps", c.IncastQPS)
+	}
+	if c.IncastScale < 0 {
+		return fmt.Errorf("core: negative incast scale %d", c.IncastScale)
+	}
+	if c.IncastFlowSize < 0 {
+		return fmt.Errorf("core: negative incast flow size %d", c.IncastFlowSize)
+	}
+	if c.RequestDelay < 0 {
+		return fmt.Errorf("core: negative request delay %v", c.RequestDelay)
+	}
+	if c.HealDelay < 0 {
+		return fmt.Errorf("core: negative heal delay %v", c.HealDelay)
+	}
+	for i, lf := range c.LinkFailures {
+		if lf.Link < 0 {
+			return fmt.Errorf("core: link failure %d has negative link index %d", i, lf.Link)
+		}
+		if lf.At < 0 || lf.At > c.SimTime {
+			return fmt.Errorf("core: link failure %d at %v is outside the simulated window [0, %v]", i, lf.At, c.SimTime)
+		}
+	}
+	// Link/switch index ranges are re-checked against the built topology in
+	// Run; here only times and parameter ranges can be validated.
+	if err := c.Faults.Validate(-1, -1, c.SimTime); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Result bundles a run's summary with the raw collector for deep analysis.
 type Result struct {
 	Summary   *metrics.Summary
@@ -167,8 +229,8 @@ type Result struct {
 
 // Run executes the scenario and returns its results.
 func Run(cfg Config) (*Result, error) {
-	if cfg.SimTime <= 0 {
-		return nil, fmt.Errorf("core: non-positive sim time %v", cfg.SimTime)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	var (
 		t   *topo.Topology
@@ -215,6 +277,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, lf := range cfg.LinkFailures {
 		if err := net.FailLinkAt(lf.Link, lf.At); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.Faults.Empty() {
+		if _, err := faults.Apply(eng, net, cfg.Faults, cfg.HealDelay); err != nil {
 			return nil, err
 		}
 	}
@@ -282,7 +349,14 @@ func Run(cfg Config) (*Result, error) {
 		ic.Run(cfg.SimTime)
 	}
 
+	if cfg.WallTimeout > 0 {
+		eng.SetWallDeadline(cfg.WallTimeout)
+	}
 	end := eng.Run(cfg.SimTime)
+	if eng.DeadlineExceeded() {
+		return nil, fmt.Errorf("core: run exceeded its %v wall-clock budget at t=%v (%d events fired)",
+			cfg.WallTimeout, end, eng.Events())
+	}
 	if mon != nil {
 		mon.Finish()
 	}

@@ -35,26 +35,31 @@ type Manifest struct {
 	StartTime    string  `json:"start_time"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Runs         int     `json:"runs"`
+	FailedRuns   int     `json:"failed_runs,omitempty"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
 // RunRecord is one simulation run's entry in results.json: the compacted
-// metrics summary plus the runtime self-instrumentation.
+// metrics summary plus the runtime self-instrumentation. A failed run
+// carries only its label and error.
 type RunRecord struct {
 	Label        string           `json:"label"`
 	WallSeconds  float64          `json:"wall_seconds"`
 	EventsPerSec float64          `json:"events_per_sec"`
 	Engine       sim.EngineStats  `json:"engine"`
 	Pool         packet.PoolStats `json:"pool"`
-	Summary      *metrics.Summary `json:"summary"`
+	Summary      *metrics.Summary `json:"summary,omitempty"`
+	Error        string           `json:"error,omitempty"`
 }
 
-// results is the results.json document: the rendered tables and every
-// underlying run, sorted by label.
+// results is the results.json document: the rendered tables, every
+// successful run sorted by label, and a separate section naming the
+// failures, so partial sweeps still produce a well-formed artifact.
 type results struct {
 	Tables []*Table    `json:"tables"`
 	Runs   []RunRecord `json:"runs"`
+	Errors []RunRecord `json:"errors,omitempty"`
 }
 
 // Recorder accumulates per-run artifacts. Install its Record method as
@@ -62,6 +67,7 @@ type results struct {
 // its own.
 type Recorder struct {
 	runs    []RunRecord
+	failed  []RunRecord
 	samples bytes.Buffer
 	trace   bytes.Buffer
 }
@@ -72,7 +78,12 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Record folds one run's instrumentation into the recorder. Summaries are
 // compacted (raw FCT/QCT series dropped, histograms kept) so results.json
 // stays proportional to the number of runs, not the number of flows.
+// Failed runs (info.Err non-empty) are collected into the errors section.
 func (r *Recorder) Record(info RunInfo) {
+	if info.Err != "" {
+		r.failed = append(r.failed, RunRecord{Label: info.Label, Error: info.Err})
+		return
+	}
 	r.runs = append(r.runs, RunRecord{
 		Label:        info.Label,
 		WallSeconds:  info.Wall.Seconds(),
@@ -96,8 +107,17 @@ func (r *Recorder) Record(info RunInfo) {
 // Runs returns the recorded runs sorted by label, so results.json is
 // deterministic regardless of worker completion order.
 func (r *Recorder) Runs() []RunRecord {
-	out := make([]RunRecord, len(r.runs))
-	copy(out, r.runs)
+	return sortedByLabel(r.runs)
+}
+
+// Failed returns the failed runs sorted by label.
+func (r *Recorder) Failed() []RunRecord {
+	return sortedByLabel(r.failed)
+}
+
+func sortedByLabel(recs []RunRecord) []RunRecord {
+	out := make([]RunRecord, len(recs))
+	copy(out, recs)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Label < out[j].Label })
 	return out
 }
@@ -118,6 +138,7 @@ func BuildManifest(ids []string, sc Scale, rec *Recorder, start time.Time, wall 
 		StartTime:   start.UTC().Format(time.RFC3339),
 		WallSeconds: wall.Seconds(),
 		Runs:        len(rec.runs),
+		FailedRuns:  len(rec.failed),
 	}
 	for _, r := range rec.runs {
 		m.Events += r.Engine.Events
@@ -154,6 +175,7 @@ func WriteArtifacts(dir string, m Manifest, tables []*Table, rec *Recorder) erro
 	if err := writeJSON(filepath.Join(dir, "results.json"), results{
 		Tables: tables,
 		Runs:   rec.Runs(),
+		Errors: rec.Failed(),
 	}); err != nil {
 		return err
 	}

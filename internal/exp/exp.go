@@ -16,6 +16,7 @@ import (
 
 	"vertigo/internal/core"
 	"vertigo/internal/fabric"
+	"vertigo/internal/faults"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
@@ -176,7 +177,20 @@ var SampleTick units.Time
 // flow ID on every experiment run; the trace is delivered through OnRun.
 var TraceFlow uint64
 
-// RunInfo is the per-run instrumentation handed to OnRun.
+// FaultSchedule, when non-empty, is injected into every experiment run that
+// does not carry a schedule of its own (the -fault CLI flag).
+var FaultSchedule *faults.Schedule
+
+// HealDelay, when positive, enables control-plane healing with this
+// convergence delay on every run that does not set its own.
+var HealDelay units.Time
+
+// RunTimeout, when positive, bounds each run's wall-clock time; a run that
+// exceeds it fails its row instead of stalling the sweep (-run-timeout).
+var RunTimeout time.Duration
+
+// RunInfo is the per-run instrumentation handed to OnRun. A failed run
+// (error or panic) delivers only Label and Err; everything else is zero.
 type RunInfo struct {
 	Label   string
 	Summary *metrics.Summary
@@ -185,6 +199,7 @@ type RunInfo struct {
 	Sampler *telemetry.Sampler // nil unless SampleTick > 0
 	Trace   []byte             // JSONL packet trace; empty unless TraceFlow > 0
 	Wall    time.Duration
+	Err     string // non-empty when the run failed
 }
 
 // EventsPerSec is the run's simulation throughput in events per wall second.
@@ -279,10 +294,32 @@ func withLoads(cfg core.Config, bg, total float64) core.Config {
 	return cfg
 }
 
+// reportFailure emits a failed run's progress line and OnRun record, under
+// the same lock as successful runs so lines never interleave.
+func reportFailure(label string, err error) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	if Progress != nil {
+		Progress("%-40s FAILED: %s", label, firstLine(err.Error()))
+	}
+	if OnRun != nil {
+		OnRun(RunInfo{Label: label, Err: err.Error()})
+	}
+}
+
 // run executes one scenario, reporting progress and instrumentation.
 func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
 	if SampleTick > 0 && cfg.SampleTick == 0 {
 		cfg.SampleTick = SampleTick
+	}
+	if !FaultSchedule.Empty() && cfg.Faults.Empty() {
+		cfg.Faults = FaultSchedule
+	}
+	if HealDelay > 0 && cfg.HealDelay == 0 {
+		cfg.HealDelay = HealDelay
+	}
+	if RunTimeout > 0 && cfg.WallTimeout == 0 {
+		cfg.WallTimeout = RunTimeout
 	}
 	var traceBuf *bytes.Buffer
 	if TraceFlow > 0 && cfg.PacketTrace == nil {
@@ -294,7 +331,9 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 	start := time.Now()
 	res, err := core.Run(cfg)
 	if err != nil {
-		return nil, nil, fmt.Errorf("exp: %s: %w", label, err)
+		err = fmt.Errorf("exp: %s: %w", label, err)
+		reportFailure(label, err)
+		return nil, nil, err
 	}
 	info := RunInfo{
 		Label:   label,

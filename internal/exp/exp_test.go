@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "sec2", "fig5", "fig6", "fig7", "table2",
 		"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12", "table3", "fig13",
 		"defset", "failover", "nonbursty",
+		"flapstorm", "switchdeath", "corrupt", "healdelay", "failheal",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {

@@ -79,10 +79,7 @@ func runFig11a(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig11b reproduces Figure 11b: boosting factors at two background loads.
@@ -117,10 +114,7 @@ func runFig11b(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig12 reproduces Figure 12: the four forwarding/deflection choice
@@ -167,10 +161,7 @@ func runFig12(sc Scale) ([]*Table, error) {
 		}
 		tables = append(tables, t)
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, sw.run()
 }
 
 // runTable3 reproduces Table 3: SRPT vs LAS marking against baselines.
@@ -212,10 +203,7 @@ func runTable3(sc Scale) ([]*Table, error) {
 			})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig13 reproduces Figure 13: ordering timeout sweep.
@@ -240,10 +228,7 @@ func runFig13(sc Scale) ([]*Table, error) {
 				t.Add(tau, s.MeanFCT, s.P99FCT, s.MeanQCT, s.ReorderPkts)
 			})
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runDefSet is an extra ablation beyond the paper: the per-packet deflection
@@ -267,8 +252,5 @@ func runDefSet(sc Scale) ([]*Table, error) {
 			t.Add(name, s.MeanQCT, pct(s.QueryCompletionP), pct(100*s.DropRate), s.Deflections)
 		})
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }

@@ -44,8 +44,5 @@ func runFailover(sc Scale) ([]*Table, error) {
 					s.Drops, col.Drops[metrics.DropLinkDown])
 			})
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/faults"
+	"vertigo/internal/metrics"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// The faults experiment family exercises internal/faults: transient faults
+// (flaps, switch death, corruption, brownouts) and control-plane healing,
+// across all four forwarding schemes. All are extensions beyond the paper;
+// they quantify the claim that deflection-capable schemes ride out faults in
+// the dataplane while ECMP/DRILL wait for routing to reconverge.
+
+func init() {
+	register(&Experiment{
+		ID: "flapstorm",
+		Title: "Extension: link flap storm — repeated carrier loss and recovery " +
+			"on a leaf uplink",
+		Run: runFlapStorm,
+	})
+	register(&Experiment{
+		ID:    "switchdeath",
+		Title: "Extension: spine switch dies mid-run and later recovers",
+		Run:   runSwitchDeath,
+	})
+	register(&Experiment{
+		ID:    "corrupt",
+		Title: "Extension: bit-error corruption sweep on a leaf uplink",
+		Run:   runCorrupt,
+	})
+	register(&Experiment{
+		ID: "healdelay",
+		Title: "Extension: control-plane healing delay sweep after a permanent " +
+			"link failure",
+		Run: runHealDelay,
+	})
+	register(&Experiment{
+		ID: "failheal",
+		Title: "Extension: fail, heal, recover — transient link failure with " +
+			"control-plane healing",
+		Run: runFailHeal,
+	})
+}
+
+// faultPolicies is the scheme lineup every faults experiment compares.
+var faultPolicies = []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabric.Vertigo}
+
+// runFlapStorm flaps the first leaf uplink three times. Each cycle holds the
+// link down T/16 out of every T/8 starting at T/4, so the fabric sees
+// repeated carrier loss with barely enough air to drain between flaps.
+func runFlapStorm(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "flapstorm",
+		Title:   "First leaf uplink flaps 3x (down T/16, period T/8; DCTCP, 50% load)",
+		Columns: []string{"system", "flow_compl", "mean_FCT", "drops", "linkdown_drops", "mean_TTR", "post_recovery_tx"},
+		Notes: []string{
+			"mean_TTR is the mean carrier-loss duration seen by the fabric;",
+			"post_recovery_tx counts data packets the revived link carried",
+		},
+	}
+	sw := newSweep()
+	firstUplink := sc.Hosts()
+	for _, p := range faultPolicies {
+		p := p
+		cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
+		cfg.Faults = (&faults.Schedule{}).Add(
+			faults.Flap(firstUplink, sc.SimTime/4, sc.SimTime/16, sc.SimTime/8, 3)...)
+		sw.add(fmt.Sprintf("flapstorm/%s", p), cfg,
+			func(s *metrics.Summary, col *metrics.Collector) {
+				t.Add(schemeName(p, transport.DCTCP), pct(s.FlowCompletionP), s.MeanFCT,
+					s.Drops, col.Drops[metrics.DropLinkDown], s.MTTR, s.PostRecoveryTx)
+			})
+	}
+	return []*Table{t}, sw.run()
+}
+
+// runSwitchDeath kills the first spine at T/3 and revives it at 2T/3: every
+// uplink into it goes dark at once — the worst case for hash-based schemes,
+// since a quarter of the fabric capacity (at the default scales) vanishes.
+func runSwitchDeath(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "switchdeath",
+		Title:   "Spine 0 dies at T/3, recovers at 2T/3 (DCTCP, 50% load)",
+		Columns: []string{"system", "flow_compl", "mean_FCT", "drops", "linkdown_drops", "post_recovery_tx"},
+	}
+	sw := newSweep()
+	spine0 := sc.Leaves // switch IDs: leaves first, then spines
+	for _, p := range faultPolicies {
+		p := p
+		cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
+		cfg.Faults = (&faults.Schedule{}).Add(
+			faults.Event{At: sc.SimTime / 3, Kind: faults.SwitchDown, Switch: spine0},
+			faults.Event{At: 2 * sc.SimTime / 3, Kind: faults.SwitchUp, Switch: spine0},
+		)
+		sw.add(fmt.Sprintf("switchdeath/%s", p), cfg,
+			func(s *metrics.Summary, col *metrics.Collector) {
+				t.Add(schemeName(p, transport.DCTCP), pct(s.FlowCompletionP), s.MeanFCT,
+					s.Drops, col.Drops[metrics.DropLinkDown], s.PostRecoveryTx)
+			})
+	}
+	return []*Table{t}, sw.run()
+}
+
+// runCorrupt sweeps the bit-error rate of the first leaf uplink. Corruption
+// is invisible to routing — no scheme can route around it — so this isolates
+// how each transport's loss recovery copes with non-congestive loss.
+func runCorrupt(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "corrupt",
+		Title:   "First leaf uplink drops packets with probability BER (DCTCP, 50% load)",
+		Columns: []string{"system", "ber", "flow_compl", "mean_FCT", "corrupt_drops", "total_drops"},
+	}
+	sw := newSweep()
+	firstUplink := sc.Hosts()
+	for _, p := range []fabric.Policy{fabric.ECMP, fabric.Vertigo} {
+		for _, ber := range []float64{0, 1e-4, 1e-3, 1e-2} {
+			p, ber := p, ber
+			cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
+			if ber > 0 {
+				cfg.Faults = (&faults.Schedule{}).Add(
+					faults.Event{Kind: faults.Corrupt, Link: firstUplink, BER: ber})
+			}
+			sw.add(fmt.Sprintf("corrupt/%s/ber=%g", p, ber), cfg,
+				func(s *metrics.Summary, col *metrics.Collector) {
+					t.Add(schemeName(p, transport.DCTCP), fmt.Sprintf("%g", ber),
+						pct(s.FlowCompletionP), s.MeanFCT,
+						col.Drops[metrics.DropCorrupt], s.Drops)
+				})
+		}
+	}
+	return []*Table{t}, sw.run()
+}
+
+// runHealDelay fails one uplink permanently at T/4 and sweeps the
+// control-plane convergence delay. ECMP recovers only once the FIBs heal, so
+// its completion tracks the delay; Vertigo deflects around the failure
+// immediately and the delay barely registers.
+func runHealDelay(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "healdelay",
+		Title:   "First leaf uplink fails for good at T/4; FIBs heal after a delay (DCTCP, 50% load)",
+		Columns: []string{"system", "heal_delay", "flow_compl", "mean_FCT", "linkdown_drops", "fib_installs"},
+		Notes: []string{
+			"heal_delay 'off' leaves the static FIBs installed for the whole run",
+		},
+	}
+	sw := newSweep()
+	firstUplink := sc.Hosts()
+	delays := []units.Time{0, sc.SimTime / 32, sc.SimTime / 8}
+	for _, p := range []fabric.Policy{fabric.ECMP, fabric.Vertigo} {
+		for _, hd := range delays {
+			p, hd := p, hd
+			cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
+			cfg.Faults = (&faults.Schedule{}).Add(
+				faults.Event{At: sc.SimTime / 4, Kind: faults.LinkDown, Link: firstUplink})
+			cfg.HealDelay = hd
+			label := "off"
+			if hd > 0 {
+				label = hd.String()
+			}
+			sw.add(fmt.Sprintf("healdelay/%s/%s", p, label), cfg,
+				func(s *metrics.Summary, col *metrics.Collector) {
+					t.Add(schemeName(p, transport.DCTCP), label, pct(s.FlowCompletionP),
+						s.MeanFCT, col.Drops[metrics.DropLinkDown], s.FIBInstalls)
+				})
+		}
+	}
+	return []*Table{t}, sw.run()
+}
+
+// runFailHeal is the full fault lifecycle on every scheme: the uplink fails
+// at T/3, the control plane heals around it T/16 later, the carrier returns
+// at 2T/3, and a second heal folds the link back in. post_recovery_tx > 0
+// shows the recovered link carrying traffic again.
+func runFailHeal(sc Scale) ([]*Table, error) {
+	t := &Table{
+		ID:      "failheal",
+		Title:   "First leaf uplink down T/3..2T/3, healing delay T/16 (DCTCP, 50% load)",
+		Columns: []string{"system", "flow_compl", "mean_FCT", "linkdown_drops", "mean_TTR", "post_recovery_tx", "fib_installs"},
+	}
+	sw := newSweep()
+	firstUplink := sc.Hosts()
+	for _, p := range faultPolicies {
+		p := p
+		cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
+		cfg.Faults = (&faults.Schedule{}).Add(
+			faults.Event{At: sc.SimTime / 3, Kind: faults.LinkDown, Link: firstUplink},
+			faults.Event{At: 2 * sc.SimTime / 3, Kind: faults.LinkUp, Link: firstUplink},
+		)
+		cfg.HealDelay = sc.SimTime / 16
+		sw.add(fmt.Sprintf("failheal/%s", p), cfg,
+			func(s *metrics.Summary, col *metrics.Collector) {
+				t.Add(schemeName(p, transport.DCTCP), pct(s.FlowCompletionP), s.MeanFCT,
+					col.Drops[metrics.DropLinkDown], s.MTTR, s.PostRecoveryTx, s.FIBInstalls)
+			})
+	}
+	return []*Table{t}, sw.run()
+}

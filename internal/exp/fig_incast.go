@@ -69,10 +69,7 @@ func runFig8(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig9 reproduces Figure 9: incast flow size sweep at fixed scale and
@@ -111,10 +108,7 @@ func runFig9(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig10 reproduces Figure 10: fixed 80% offered load with the incast
@@ -140,10 +134,7 @@ func runFig10(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig7 reproduces Figure 7: the fat-tree validation with three load
@@ -178,8 +169,5 @@ func runFig7(sc Scale) ([]*Table, error) {
 		}
 		tables = append(tables, t)
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, sw.run()
 }

@@ -72,10 +72,7 @@ func runFig1(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runSec2 quantifies the §2 pathology claims with counters.
@@ -108,10 +105,7 @@ func runSec2(sc Scale) ([]*Table, error) {
 		mk("vertigo-defl^1", fabric.Vertigo, 1, load)
 		mk("vertigo-defl^2", fabric.Vertigo, 2, load)
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }
 
 // runFig5 reproduces Figure 5: the four schemes under DCTCP across three
@@ -142,10 +136,7 @@ func runFig5(sc Scale) ([]*Table, error) {
 		}
 		tables = append(tables, t)
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, sw.run()
 }
 
 // runFig6 reproduces Figure 6: mean QCT for DIBS and Vertigo under all three
@@ -192,10 +183,7 @@ func runFig6(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t, cdf}, nil
+	return []*Table{t, cdf}, sw.run()
 }
 
 // runTable2 reproduces Table 2: completion ratios at 75% load.
@@ -216,8 +204,5 @@ func runTable2(sc Scale) ([]*Table, error) {
 				})
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }

@@ -57,8 +57,5 @@ func runNonBursty(sc Scale) ([]*Table, error) {
 			}
 		}
 	}
-	if err := sw.run(); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, sw.run()
 }

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +17,10 @@ import (
 // sweep is embarrassingly parallel; 1 restores fully sequential execution.
 // The default uses every available CPU.
 var Concurrency = runtime.GOMAXPROCS(0)
+
+// runFn is the scenario executor used by sweeps; a package variable so the
+// crash-recovery tests can substitute a misbehaving implementation.
+var runFn = run
 
 // sweepJob is one scenario of a sweep: a label and config submitted up
 // front, the simulation outcome filled in by a worker, and a render callback
@@ -44,21 +51,31 @@ func (sw *sweep) add(label string, cfg core.Config, render func(*metrics.Summary
 	sw.jobs = append(sw.jobs, &sweepJob{label: label, cfg: cfg, render: render})
 }
 
-// run executes all enqueued jobs and fires their render callbacks in
-// submission order. The returned error is the earliest-submitted failure.
+// safeRun executes one scenario, converting a panic into an ordinary error
+// so a crashing run fails its own row instead of killing the worker pool
+// (or, sequentially, the whole batch).
+func safeRun(label string, cfg core.Config) (sum *metrics.Summary, col *metrics.Collector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exp: %s: panic: %v\n%s", label, r, debug.Stack())
+			reportFailure(label, err)
+		}
+	}()
+	return runFn(label, cfg)
+}
+
+// run executes all enqueued jobs and fires the render callbacks of the
+// successful ones in submission order. Failures — errors and panics alike —
+// do not stop the sweep: the remaining jobs still run, partial tables still
+// render, and the failures come back aggregated in a *SweepError.
 func (sw *sweep) run() error {
 	workers := Concurrency
 	if workers > len(sw.jobs) {
 		workers = len(sw.jobs)
 	}
 	if workers <= 1 {
-		// Sequential: identical behavior to the historical drivers,
-		// including stopping at the first failure.
 		for _, j := range sw.jobs {
-			j.sum, j.col, j.err = run(j.label, j.cfg)
-			if j.err != nil {
-				return j.err
-			}
+			j.sum, j.col, j.err = safeRun(j.label, j.cfg)
 		}
 	} else {
 		var next atomic.Int64
@@ -73,21 +90,53 @@ func (sw *sweep) run() error {
 						return
 					}
 					j := sw.jobs[i]
-					j.sum, j.col, j.err = run(j.label, j.cfg)
+					j.sum, j.col, j.err = safeRun(j.label, j.cfg)
 				}
 			}()
 		}
 		wg.Wait()
-		for _, j := range sw.jobs {
-			if j.err != nil {
-				return j.err
-			}
-		}
 	}
+	var failed []RunError
 	for _, j := range sw.jobs {
+		if j.err != nil {
+			failed = append(failed, RunError{Label: j.label, Err: j.err})
+			continue
+		}
 		if j.render != nil {
 			j.render(j.sum, j.col)
 		}
 	}
+	if len(failed) > 0 {
+		return &SweepError{Failed: failed, Total: len(sw.jobs)}
+	}
 	return nil
+}
+
+// RunError is one failed run of a sweep.
+type RunError struct {
+	Label string
+	Err   error
+}
+
+// SweepError aggregates every failure of a sweep whose surviving runs still
+// rendered. Drivers return it alongside their partial tables.
+type SweepError struct {
+	Failed []RunError
+	Total  int
+}
+
+func (e *SweepError) Error() string {
+	first := fmt.Sprintf("%s: %s", e.Failed[0].Label, firstLine(e.Failed[0].Err.Error()))
+	if len(e.Failed) == 1 {
+		return fmt.Sprintf("exp: 1 of %d runs failed: %s", e.Total, first)
+	}
+	return fmt.Sprintf("exp: %d of %d runs failed; first: %s", len(e.Failed), e.Total, first)
+}
+
+// firstLine truncates multi-line error text (panic stacks) for one-line use.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " [...]"
+	}
+	return s
 }

@@ -156,6 +156,14 @@ type Network struct {
 	hostRecv []Receiver   // host ingress handlers
 	obs      Observer     // optional telemetry observer
 	pool     *packet.Pool // per-simulation packet free list
+
+	// Live forwarding state, mutable by fault injection (see fault methods
+	// below): the FIB consulted by every switch (initially Topo.FIB, swapped
+	// by control-plane healing), per-switch health, and per-link carrier-loss
+	// bookkeeping for time-to-recover accounting.
+	fib           [][][]int
+	swDown        []bool
+	linkDownSince []units.Time // -1 while a link is up
 }
 
 // Pool returns the network's packet free list. Transports allocate packets
@@ -223,12 +231,18 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 		cfg.DeflChoices = 2
 	}
 	n := &Network{
-		Eng:      eng,
-		Topo:     t,
-		Met:      met,
-		Cfg:      cfg,
-		hostRecv: make([]Receiver, t.NumHosts),
-		pool:     &packet.Pool{},
+		Eng:           eng,
+		Topo:          t,
+		Met:           met,
+		Cfg:           cfg,
+		hostRecv:      make([]Receiver, t.NumHosts),
+		pool:          &packet.Pool{},
+		fib:           t.FIB,
+		swDown:        make([]bool, t.NumSwitches),
+		linkDownSince: make([]units.Time, len(t.Links)),
+	}
+	for i := range n.linkDownSince {
+		n.linkDownSince[i] = -1
 	}
 
 	n.switches = make([]*Switch, t.NumSwitches)
@@ -243,6 +257,7 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 			link := t.Links[t.PortLink[sw][p]]
 			port := s.ports[p]
 			port.rate = link.Rate
+			port.rate0 = link.Rate
 			port.delay = link.Delay
 			if peer.Host {
 				h := peer.Node
@@ -264,6 +279,7 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 			idx:     h,
 			q:       buffer.NewDropTail(1 << 30),
 			rate:    link.Rate,
+			rate0:   link.Rate,
 			delay:   link.Delay,
 			deliver: tor.Receive,
 		}
@@ -290,33 +306,198 @@ func (n *Network) Send(p *packet.Packet) {
 func (n *Network) Switch(id int) *Switch { return n.switches[id] }
 
 // FailLinkAt schedules both directions of topology link li to fail at time
-// at. There is no routing reconvergence: FIBs keep pointing at the dead
-// link, modelling the window between carrier loss and control-plane repair
-// during which only in-dataplane reactions (deflection) can rescue traffic.
-// Switches see carrier loss instantly, so the forwarding policies treat a
-// dead port exactly like a full queue.
+// at. Unless a control-plane healer later installs recomputed routes
+// (InstallFIB), FIBs keep pointing at the dead link, modelling the window
+// between carrier loss and control-plane repair during which only
+// in-dataplane reactions (deflection) can rescue traffic. Switches see
+// carrier loss instantly, so the forwarding policies treat a dead port
+// exactly like a full queue. The failure is permanent unless a matching
+// SetLinkStateAt(li, t, true) restores carrier.
 func (n *Network) FailLinkAt(li int, at units.Time) error {
-	if li < 0 || li >= len(n.Topo.Links) {
-		return fmt.Errorf("fabric: link %d out of range", li)
+	return n.SetLinkStateAt(li, at, false)
+}
+
+// SetLinkStateAt schedules a carrier transition for topology link li: up
+// false fails the link (both directions), up true restores it. Transitions
+// are idempotent — failing a dead link or restoring a live one is a no-op —
+// and same-timestamp events apply in scheduling order, so a down scheduled
+// before an up at the same instant leaves the link up.
+func (n *Network) SetLinkStateAt(li int, at units.Time, up bool) error {
+	if err := n.checkLink(li); err != nil {
+		return err
 	}
-	var ports []*Port
-	l := n.Topo.Links[li]
-	add := func(e topo.Endpoint) {
-		if e.Host {
-			ports = append(ports, n.hostNIC[e.Node])
-		} else {
-			ports = append(ports, n.switches[e.Node].ports[e.Port])
-		}
+	n.Eng.At(at, func() { n.SetLinkState(li, up) })
+	return nil
+}
+
+// SetLinkState applies a carrier transition immediately. It must only be
+// called from the simulator thread (an engine event); external callers use
+// SetLinkStateAt. Panics on an out-of-range link, as scheduled callers were
+// validated and direct callers are modelling bugs.
+func (n *Network) SetLinkState(li int, up bool) {
+	n.setLinkState(li, up)
+	kind := telemetry.FaultLinkDown
+	if up {
+		kind = telemetry.FaultLinkUp
 	}
-	add(l.A)
-	add(l.B)
-	n.Eng.At(at, func() {
-		for _, pt := range ports {
+	n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: li, Switch: -1})
+}
+
+// setLinkState flips both ports of link li without emitting a fault event
+// (switch-level transitions reuse it per attached link).
+func (n *Network) setLinkState(li int, up bool) {
+	for _, pt := range n.linkPorts(li) {
+		switch {
+		case up && pt.down:
+			pt.down = false
+			pt.wasDown = true
+			pt.maybeSend() // resume draining anything queued since recovery
+		case !up && !pt.down:
 			pt.down = true
 			pt.maybeSend() // flush the queue into the void
 		}
-	})
+	}
+	now := n.Eng.Now()
+	if up {
+		if since := n.linkDownSince[li]; since >= 0 {
+			n.Met.Recovered(now - since)
+			n.linkDownSince[li] = -1
+		}
+	} else if n.linkDownSince[li] < 0 {
+		n.linkDownSince[li] = now
+	}
+}
+
+// SetSwitchStateAt schedules whole-switch failure (up false: every attached
+// link loses carrier and arriving packets are discarded) or recovery (up
+// true) at time at. Recovery restores every attached link; compose link and
+// switch faults on disjoint links, as overlapping transitions are
+// last-write-wins.
+func (n *Network) SetSwitchStateAt(sw int, at units.Time, up bool) error {
+	if sw < 0 || sw >= n.Topo.NumSwitches {
+		return fmt.Errorf("fabric: switch %d out of range [0,%d)", sw, n.Topo.NumSwitches)
+	}
+	n.Eng.At(at, func() { n.SetSwitchState(sw, up) })
 	return nil
+}
+
+// SetSwitchState applies a whole-switch transition immediately (simulator
+// thread only; see SetSwitchStateAt).
+func (n *Network) SetSwitchState(sw int, up bool) {
+	n.swDown[sw] = !up
+	for _, li := range n.Topo.PortLink[sw] {
+		n.setLinkState(li, up)
+	}
+	kind := telemetry.FaultSwitchDown
+	if up {
+		kind = telemetry.FaultSwitchUp
+	}
+	n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: -1, Switch: sw})
+}
+
+// SetLinkBERAt schedules a bit-error rate change on link li at time at: each
+// packet serialized onto the link is thereafter corrupted (dropped with
+// DropCorrupt, still occupying the wire) with probability ber. Zero clears
+// the fault; ber must be in [0,1].
+func (n *Network) SetLinkBERAt(li int, at units.Time, ber float64) error {
+	if err := n.checkLink(li); err != nil {
+		return err
+	}
+	if ber < 0 || ber > 1 {
+		return fmt.Errorf("fabric: link %d bit-error rate %g outside [0,1]", li, ber)
+	}
+	n.Eng.At(at, func() { n.SetLinkBER(li, ber) })
+	return nil
+}
+
+// SetLinkBER applies a bit-error rate change immediately (simulator thread
+// only; see SetLinkBERAt).
+func (n *Network) SetLinkBER(li int, ber float64) {
+	for _, pt := range n.linkPorts(li) {
+		pt.ber = ber
+	}
+	n.emitFault(telemetry.FaultEvent{
+		Time: n.Eng.Now(), Kind: telemetry.FaultCorrupt, Link: li, Switch: -1, Value: ber,
+	})
+}
+
+// SetLinkRateFactorAt schedules a rate brownout on link li at time at: the
+// link serializes at factor times its configured rate. Factor 1 restores
+// full speed; factor must be positive (values above 1 model an upgrade).
+func (n *Network) SetLinkRateFactorAt(li int, at units.Time, factor float64) error {
+	if err := n.checkLink(li); err != nil {
+		return err
+	}
+	if factor <= 0 {
+		return fmt.Errorf("fabric: link %d rate factor %g must be positive", li, factor)
+	}
+	n.Eng.At(at, func() { n.SetLinkRateFactor(li, factor) })
+	return nil
+}
+
+// SetLinkRateFactor applies a rate brownout immediately (simulator thread
+// only; see SetLinkRateFactorAt).
+func (n *Network) SetLinkRateFactor(li int, factor float64) {
+	for _, pt := range n.linkPorts(li) {
+		pt.rate = units.BitRate(float64(pt.rate0) * factor)
+		if pt.rate < 1 {
+			pt.rate = 1
+		}
+	}
+	n.emitFault(telemetry.FaultEvent{
+		Time: n.Eng.Now(), Kind: telemetry.FaultDegrade, Link: li, Switch: -1, Value: factor,
+	})
+}
+
+// InstallFIB swaps the forwarding tables every switch consults — the
+// control-plane healing step: a healer computes Topo.FIBExcluding(dead) after
+// its convergence delay and installs it here, restoring reachability that
+// pure dataplane reactions could only approximate. Must run on the simulator
+// thread (schedule via the engine).
+func (n *Network) InstallFIB(fib [][][]int) {
+	n.fib = fib
+	n.Met.FIBInstalls++
+	n.emitFault(telemetry.FaultEvent{
+		Time: n.Eng.Now(), Kind: telemetry.FaultFIBHeal, Link: -1, Switch: -1,
+	})
+}
+
+// LinkDown reports whether link li currently has no carrier.
+func (n *Network) LinkDown(li int) bool {
+	return li >= 0 && li < len(n.linkDownSince) && n.linkDownSince[li] >= 0
+}
+
+// SwitchDown reports whether switch sw is currently failed.
+func (n *Network) SwitchDown(sw int) bool {
+	return sw >= 0 && sw < len(n.swDown) && n.swDown[sw]
+}
+
+func (n *Network) checkLink(li int) error {
+	if li < 0 || li >= len(n.Topo.Links) {
+		return fmt.Errorf("fabric: link %d out of range [0,%d)", li, len(n.Topo.Links))
+	}
+	return nil
+}
+
+// linkPorts returns the egress ports driving the two directions of link li.
+func (n *Network) linkPorts(li int) [2]*Port {
+	l := n.Topo.Links[li]
+	get := func(e topo.Endpoint) *Port {
+		if e.Host {
+			return n.hostNIC[e.Node]
+		}
+		return n.switches[e.Node].ports[e.Port]
+	}
+	return [2]*Port{get(l.A), get(l.B)}
+}
+
+// emitFault accounts a fault transition and fans it out to any attached
+// observer that implements telemetry.FaultObserver.
+func (n *Network) emitFault(ev telemetry.FaultEvent) {
+	n.Met.FaultEvents++
+	if fo, ok := n.obs.(telemetry.FaultObserver); ok {
+		fo.Fault(ev)
+	}
 }
 
 func (n *Network) deliverToHost(h int, p *packet.Packet) {
@@ -356,10 +537,13 @@ type Port struct {
 	net     *Network
 	sw, idx int // switch ID and port index (-1/hostID for host NICs)
 	q       buffer.Queue
-	rate    units.BitRate
+	rate    units.BitRate // current rate (degraded during brownouts)
+	rate0   units.BitRate // configured rate, restored by factor-1 transitions
 	delay   units.Time
 	busy    bool
-	down    bool // link failed: no carrier
+	down    bool    // link failed: no carrier
+	wasDown bool    // carrier was lost and later restored at least once
+	ber     float64 // bit-error corruption probability per transmitted packet
 	deliver func(*packet.Packet)
 
 	// Transmit-path machinery, allocated once per port instead of twice per
@@ -418,6 +602,9 @@ func (pt *Port) maybeSend() {
 	if p == nil {
 		return
 	}
+	if pt.wasDown && p.Kind == packet.Data {
+		pt.net.Met.PostRecoveryTx++
+	}
 	pt.busy = true
 	tx := pt.rate.TxTime(p.Size())
 	eng := pt.net.Eng
@@ -428,6 +615,12 @@ func (pt *Port) maybeSend() {
 		o.Transmit(pt.sw, pt.idx, p, tx, pt.q.Bytes())
 	}
 	eng.After(tx, pt.txDone)
+	if pt.ber > 0 && eng.Rand().Float64() < pt.ber {
+		// Bit-error corruption: the bits occupy the wire for the full
+		// serialization time, but the far end discards the frame on checksum.
+		pt.net.drop(pt.sw, pt.idx, p, metrics.DropCorrupt)
+		return
+	}
 	pt.inflight = append(pt.inflight, p)
 	eng.After(tx+pt.delay, pt.arrive)
 }
@@ -465,8 +658,13 @@ func (s *Switch) ID() int { return s.id }
 // Port returns the egress port with the given index.
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
 
-// Receive processes an arriving packet: TTL check, route, enqueue.
+// Receive processes an arriving packet: TTL check, route, enqueue. A failed
+// switch discards everything that was already on the wire toward it.
 func (s *Switch) Receive(p *packet.Packet) {
+	if s.net.swDown[s.id] {
+		s.net.drop(s.id, -1, p, metrics.DropLinkDown)
+		return
+	}
 	p.Hops++
 	if p.Hops > s.net.Cfg.MaxHops {
 		s.net.drop(s.id, -1, p, metrics.DropTTL)
@@ -508,7 +706,8 @@ func (s *Switch) markECN(port *Port, p *packet.Packet) {
 	}
 }
 
-// candidates returns the FIB next-hop ports for p's destination.
+// candidates returns the live FIB next-hop ports for p's destination (the
+// network's installed table, which control-plane healing may have swapped).
 func (s *Switch) candidates(p *packet.Packet) []int {
-	return s.net.Topo.FIB[s.id][p.Dst]
+	return s.net.fib[s.id][p.Dst]
 }

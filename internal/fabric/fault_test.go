@@ -1,0 +1,274 @@
+package fabric
+
+import (
+	"testing"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/units"
+)
+
+// Topology of testNet (2 spines, 2 leaves, 2 hosts/leaf): links 0-3 are host
+// access links, link 4 is leaf 0's first uplink (to spine 0), link 5 its
+// second; switch IDs 0,1 are leaves, 2,3 spines.
+
+func TestFailLinkAtTimeZero(t *testing.T) {
+	// Failing a link at t=0, before any event has run, must blackhole the
+	// destination from the first packet on.
+	eng, net, met, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	if err := net.FailLinkAt(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		net.Send(dataPkt(&ids, 0, 1, 5, 100))
+	}
+	eng.Run(units.Second)
+	if len(got[1]) != 0 {
+		t.Fatalf("delivered %d packets over a link dead since t=0", len(got[1]))
+	}
+	if !net.LinkDown(1) {
+		t.Fatal("LinkDown(1) = false after FailLinkAt(1, 0)")
+	}
+	if met.FaultEvents != 1 {
+		t.Fatalf("FaultEvents = %d, want 1", met.FaultEvents)
+	}
+}
+
+func TestDoubleFailSameLinkIsIdempotent(t *testing.T) {
+	// Failing an already-dead link must not disturb downtime accounting: the
+	// recovery still reports one outage spanning the first failure.
+	eng, net, met, _ := testNet(t, DefaultConfig(ECMP))
+	if err := net.FailLinkAt(4, 10*units.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.FailLinkAt(4, 20*units.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkStateAt(4, 30*units.Microsecond, true); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(units.Millisecond)
+	if net.LinkDown(4) {
+		t.Fatal("link still down after recovery")
+	}
+	if len(met.Recoveries) != 1 {
+		t.Fatalf("recorded %d recoveries, want 1", len(met.Recoveries))
+	}
+	if want := 20 * units.Microsecond; met.Recoveries[0] != want {
+		t.Fatalf("downtime = %v, want %v (from the first failure)", met.Recoveries[0], want)
+	}
+}
+
+func TestLinkStateValidation(t *testing.T) {
+	_, net, _, _ := testNet(t, DefaultConfig(ECMP))
+	if err := net.SetLinkStateAt(-1, 0, false); err == nil {
+		t.Error("negative link index accepted")
+	}
+	if err := net.SetLinkStateAt(len(net.Topo.Links), 0, true); err == nil {
+		t.Error("out-of-range link index accepted")
+	}
+	if err := net.SetSwitchStateAt(-1, 0, false); err == nil {
+		t.Error("negative switch index accepted")
+	}
+	if err := net.SetSwitchStateAt(net.Topo.NumSwitches, 0, false); err == nil {
+		t.Error("out-of-range switch index accepted")
+	}
+	if err := net.SetLinkBERAt(0, 0, -0.1); err == nil {
+		t.Error("negative BER accepted")
+	}
+	if err := net.SetLinkBERAt(0, 0, 1.5); err == nil {
+		t.Error("BER above 1 accepted")
+	}
+	if err := net.SetLinkRateFactorAt(0, 0, 0); err == nil {
+		t.Error("zero rate factor accepted")
+	}
+	if err := net.SetLinkRateFactorAt(1 << 20, 0, 0.5); err == nil {
+		t.Error("out-of-range link index accepted for rate factor")
+	}
+}
+
+func TestFailThenRecoverSameTimestamp(t *testing.T) {
+	// A down and an up scheduled for the same instant resolve in scheduling
+	// order: down first, up second leaves the link usable.
+	eng, net, _, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	const at = 10 * units.Microsecond
+	if err := net.SetLinkStateAt(1, at, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkStateAt(1, at, true); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(20 * units.Microsecond)
+	if net.LinkDown(1) {
+		t.Fatal("link down after same-timestamp fail-then-recover")
+	}
+	for i := 0; i < 10; i++ {
+		net.Send(dataPkt(&ids, 0, 1, 5, 100))
+	}
+	eng.Run(units.Second)
+	if len(got[1]) != 10 {
+		t.Fatalf("delivered %d of 10 after recovery", len(got[1]))
+	}
+}
+
+func TestRecoveredLinkCarriesTraffic(t *testing.T) {
+	// Fail host 1's access link, let the blackhole happen, recover it, send
+	// again: the new traffic must flow and be counted as post-recovery.
+	eng, net, met, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	if err := net.FailLinkAt(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetLinkStateAt(1, 100*units.Microsecond, true); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50 * units.Microsecond)
+	net.Send(dataPkt(&ids, 0, 1, 5, 100)) // dies on the dead link
+	eng.Run(200 * units.Microsecond)
+	const n = 10
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 1, 5, 100))
+	}
+	eng.Run(units.Second)
+	if len(got[1]) != n {
+		t.Fatalf("delivered %d of %d after carrier recovery", len(got[1]), n)
+	}
+	if met.PostRecoveryTx == 0 {
+		t.Fatal("PostRecoveryTx = 0: recovered link's traffic not accounted")
+	}
+	if len(met.Recoveries) != 1 || met.Recoveries[0] != 100*units.Microsecond {
+		t.Fatalf("recoveries = %v, want one 100µs outage", met.Recoveries)
+	}
+}
+
+func TestCorruptionDropsProbabilistically(t *testing.T) {
+	// BER 1 corrupts every packet on the wire: nothing arrives, every loss is
+	// classified DropCorrupt, and the wire still carries (and wastes) them.
+	eng, net, met, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	if err := net.SetLinkBERAt(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 1, 5, 100))
+	}
+	eng.Run(units.Second)
+	if len(got[1]) != 0 {
+		t.Fatalf("delivered %d packets through a BER=1 link", len(got[1]))
+	}
+	if met.Drops[metrics.DropCorrupt] != n {
+		t.Fatalf("corrupt drops = %d, want %d", met.Drops[metrics.DropCorrupt], n)
+	}
+	// Clearing the fault restores delivery.
+	net.SetLinkBER(1, 0)
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 1, 5, 100))
+	}
+	eng.Run(2 * units.Second)
+	if len(got[1]) != n {
+		t.Fatalf("delivered %d of %d after clearing BER", len(got[1]), n)
+	}
+}
+
+func TestDegradeSlowsDelivery(t *testing.T) {
+	// The same transfer over a 10x-degraded access link must finish later.
+	elapsed := func(factor float64) units.Time {
+		eng, net, _, _ := testNet(t, DefaultConfig(ECMP))
+		var ids packet.IDGen
+		var last units.Time
+		var delivered int
+		net.RegisterHost(1, recvFunc(func(p *packet.Packet) {
+			last = eng.Now()
+			delivered++
+		}))
+		if factor != 1 {
+			if err := net.SetLinkRateFactorAt(1, 0, factor); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			net.Send(dataPkt(&ids, 0, 1, 5, 100))
+		}
+		eng.Run(units.Second)
+		if delivered != 20 {
+			t.Fatalf("factor %g: delivered %d of 20", factor, delivered)
+		}
+		return last
+	}
+	full := elapsed(1)
+	slow := elapsed(0.1)
+	if slow <= full {
+		t.Fatalf("degraded run finished at %v, full-rate at %v; want slower", slow, full)
+	}
+}
+
+func TestSwitchDeathDropsArrivals(t *testing.T) {
+	// Kill spine 0 (switch ID 2) and flood cross-leaf ECMP traffic: flows
+	// hashed onto the dead spine blackhole, and any packet already in flight
+	// toward it is discarded on arrival, never delivered.
+	eng, net, met, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	// Kill mid-burst so packets are queued toward (and in flight to) the
+	// spine when it dies.
+	if err := net.SetSwitchStateAt(2, 5*units.Microsecond, false); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 2, uint64(i), 100)) // many flows, both spines
+	}
+	eng.Run(units.Second)
+	if !net.SwitchDown(2) {
+		t.Fatal("SwitchDown(2) = false")
+	}
+	if len(got[2]) == n {
+		t.Fatal("all packets delivered despite a dead spine")
+	}
+	// Losses at a dead port are carrier drops (flushed queues, discarded
+	// arrivals) or tail drops, since a dead port behaves like a full queue.
+	if met.Drops[metrics.DropLinkDown]+met.Drops[metrics.DropOverflow] == 0 {
+		t.Fatal("no drops recorded for traffic into the dead spine")
+	}
+	// Recovery brings the whole switch back: new flows all complete.
+	net.SetSwitchState(2, true)
+	before := len(got[2])
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 2, uint64(100+i), 100))
+	}
+	eng.Run(2 * units.Second)
+	if len(got[2])-before != n {
+		t.Fatalf("delivered %d of %d after switch recovery", len(got[2])-before, n)
+	}
+}
+
+func TestInstallFIBRoutesAroundFailure(t *testing.T) {
+	// ECMP with leaf 0's uplink to spine 0 dead: half the cross-leaf flows
+	// blackhole. Installing FIBs computed without the dead link (the healing
+	// step) restores full delivery with no deflection needed.
+	eng, net, met, got := testNet(t, DefaultConfig(ECMP))
+	var ids packet.IDGen
+	if err := net.FailLinkAt(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(10*units.Microsecond, func() {
+		net.InstallFIB(net.Topo.FIBExcluding(func(li int) bool { return li == 4 }))
+	})
+	eng.Run(20 * units.Microsecond)
+	const n = 40
+	for i := 0; i < n; i++ {
+		net.Send(dataPkt(&ids, 0, 2, uint64(i), 100))
+	}
+	eng.Run(units.Second)
+	if len(got[2]) != n {
+		t.Fatalf("delivered %d of %d after healing around the dead uplink", len(got[2]), n)
+	}
+	if met.FIBInstalls != 1 {
+		t.Fatalf("FIBInstalls = %d, want 1", met.FIBInstalls)
+	}
+	if met.Deflections != 0 {
+		t.Fatal("healed ECMP fabric should not deflect")
+	}
+}

@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"vertigo/internal/units"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := "down@10ms:link=5; up@14ms:link=5; swdown@20ms:sw=2; swup@25ms:sw=2; " +
+		"corrupt@0s:link=3,ber=0.001; degrade@5ms:link=4,factor=0.25"
+	sched, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(sched.Events))
+	}
+	again, err := Parse(sched.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", sched.String(), err)
+	}
+	if len(again.Events) != len(sched.Events) {
+		t.Fatalf("round trip changed event count: %d -> %d", len(sched.Events), len(again.Events))
+	}
+	for i := range sched.Events {
+		if again.Events[i] != sched.Events[i] {
+			t.Errorf("event %d changed in round trip: %v -> %v", i, sched.Events[i], again.Events[i])
+		}
+	}
+}
+
+func TestParseEventFields(t *testing.T) {
+	sched, err := Parse("corrupt@2ms:link=7,ber=1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sched.Events[0]
+	if e.Kind != Corrupt || e.Link != 7 || e.BER != 1e-4 || e.At != 2*units.Millisecond {
+		t.Fatalf("parsed %+v", e)
+	}
+}
+
+func TestFlapExpansion(t *testing.T) {
+	sched, err := Parse("flap@10ms:link=5,down=1ms,period=4ms,count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Flap(5, 10*units.Millisecond, units.Millisecond, 4*units.Millisecond, 3)
+	if len(sched.Events) != 6 || len(want) != 6 {
+		t.Fatalf("flap expanded to %d events, want 6", len(sched.Events))
+	}
+	for i, e := range sched.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %v, want %v", i, e, want[i])
+		}
+	}
+	// Cycles: down at 10, 14, 18 ms; each up 1 ms later.
+	if sched.Events[4].At != 18*units.Millisecond || sched.Events[4].Kind != LinkDown {
+		t.Errorf("third cycle starts at %v (%v)", sched.Events[4].At, sched.Events[4].Kind)
+	}
+	if sched.Events[5].At != 19*units.Millisecond || sched.Events[5].Kind != LinkUp {
+		t.Errorf("third cycle ends at %v (%v)", sched.Events[5].At, sched.Events[5].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"down", "missing @time"},
+		{"down@xyz:link=1", "bad duration"},
+		{"down@1ms", "missing link="},
+		{"swdown@1ms:link=1", "missing sw="},
+		{"corrupt@1ms:link=1", "missing ber="},
+		{"degrade@1ms:link=1", "missing factor="},
+		{"explode@1ms:link=1", "unknown kind"},
+		{"down@1ms:link", "malformed argument"},
+		{"flap@1ms:link=1,down=2ms,period=1ms,count=3", "0 < down < period"},
+		{"flap@1ms:link=1,down=1ms,period=4ms,count=0", "count >= 1"},
+		{"down@-5ms:link=1", "negative duration"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseEmptyAndSeparators(t *testing.T) {
+	sched, err := Parse(" ; down@1ms:link=0 ; ; up@2ms:link=0 ; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(sched.Events))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Schedule{Events: []Event{
+		{At: units.Millisecond, Kind: LinkDown, Link: 3},
+		{At: 2 * units.Millisecond, Kind: SwitchDown, Switch: 1},
+		{At: 0, Kind: Corrupt, Link: 0, BER: 0.5},
+		{At: 0, Kind: Degrade, Link: 1, Factor: 2},
+	}}
+	if err := ok.Validate(4, 2, 10*units.Millisecond); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	// Unknown bounds are skipped.
+	if err := ok.Validate(-1, -1, 0); err != nil {
+		t.Fatalf("boundless validation rejected: %v", err)
+	}
+
+	bad := []Schedule{
+		{Events: []Event{{At: -1, Kind: LinkDown, Link: 0}}},
+		{Events: []Event{{At: 20 * units.Millisecond, Kind: LinkDown, Link: 0}}},
+		{Events: []Event{{At: 0, Kind: LinkDown, Link: 4}}},
+		{Events: []Event{{At: 0, Kind: LinkUp, Link: -1}}},
+		{Events: []Event{{At: 0, Kind: SwitchDown, Switch: 2}}},
+		{Events: []Event{{At: 0, Kind: Corrupt, Link: 0, BER: 1.5}}},
+		{Events: []Event{{At: 0, Kind: Degrade, Link: 0, Factor: 0}}},
+		{Events: []Event{{At: 0, Kind: Kind(99)}}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(4, 2, 10*units.Millisecond); err == nil {
+			t.Errorf("bad schedule %d accepted: %v", i, bad[i].Events)
+		}
+	}
+}
+
+func TestNilScheduleIsEmptyAndValid(t *testing.T) {
+	var s *Schedule
+	if !s.Empty() {
+		t.Error("nil schedule not empty")
+	}
+	if err := s.Validate(1, 1, units.Second); err != nil {
+		t.Errorf("nil schedule invalid: %v", err)
+	}
+	if (&Schedule{}).Empty() != true {
+		t.Error("zero schedule not empty")
+	}
+}

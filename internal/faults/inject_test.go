@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/units"
+)
+
+func testFabric(t *testing.T) (*sim.Engine, *fabric.Network, *metrics.Collector) {
+	t.Helper()
+	tp, err := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Spines: 2, Leaves: 2, HostsPerLeaf: 2,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	return eng, fabric.New(eng, tp, met, fabric.DefaultConfig(fabric.ECMP)), met
+}
+
+func TestInjectorLifecycle(t *testing.T) {
+	eng, net, met := testFabric(t)
+	sched := (&Schedule{}).Add(
+		Event{At: 10 * units.Microsecond, Kind: LinkDown, Link: 4},
+		Event{At: 100 * units.Microsecond, Kind: LinkUp, Link: 4},
+	)
+	inj, err := Apply(eng, net, sched, 20*units.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Run(50 * units.Microsecond)
+	if !net.LinkDown(4) {
+		t.Fatal("link 4 not down after LinkDown event")
+	}
+	if inj.FailedLinks() != 1 {
+		t.Fatalf("FailedLinks = %d, want 1", inj.FailedLinks())
+	}
+	if met.FIBInstalls != 1 {
+		t.Fatalf("FIBInstalls after first heal = %d, want 1", met.FIBInstalls)
+	}
+
+	eng.Run(units.Millisecond)
+	if net.LinkDown(4) {
+		t.Fatal("link 4 still down after LinkUp event")
+	}
+	if inj.FailedLinks() != 0 {
+		t.Fatalf("FailedLinks = %d, want 0 after recovery", inj.FailedLinks())
+	}
+	if met.FIBInstalls != 2 {
+		t.Fatalf("FIBInstalls = %d, want 2 (one per transition)", met.FIBInstalls)
+	}
+	if len(met.Recoveries) != 1 || met.Recoveries[0] != 90*units.Microsecond {
+		t.Fatalf("recoveries = %v, want one 90µs outage", met.Recoveries)
+	}
+}
+
+func TestInjectorHealDisabled(t *testing.T) {
+	eng, net, met := testFabric(t)
+	sched := (&Schedule{}).Add(Event{At: 10 * units.Microsecond, Kind: LinkDown, Link: 4})
+	if _, err := Apply(eng, net, sched, 0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(units.Millisecond)
+	if met.FIBInstalls != 0 {
+		t.Fatalf("FIBInstalls = %d with healing disabled, want 0", met.FIBInstalls)
+	}
+}
+
+func TestInjectorSwitchFaultHealsAroundIt(t *testing.T) {
+	eng, net, met := testFabric(t)
+	// Spine 0 is switch 2 in the 2-leaf topology (leaves first).
+	sched := (&Schedule{}).Add(
+		Event{At: 10 * units.Microsecond, Kind: SwitchDown, Switch: 2},
+		Event{At: 200 * units.Microsecond, Kind: SwitchUp, Switch: 2},
+	)
+	inj, err := Apply(eng, net, sched, 5*units.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(50 * units.Microsecond)
+	if !net.SwitchDown(2) || inj.FailedSwitches() != 1 {
+		t.Fatal("spine not failed")
+	}
+	eng.Run(units.Millisecond)
+	if net.SwitchDown(2) || inj.FailedSwitches() != 0 {
+		t.Fatal("spine not recovered")
+	}
+	if met.FIBInstalls != 2 {
+		t.Fatalf("FIBInstalls = %d, want 2", met.FIBInstalls)
+	}
+}
+
+func TestApplyValidatesAgainstTopology(t *testing.T) {
+	eng, net, _ := testFabric(t)
+	bad := (&Schedule{}).Add(Event{Kind: LinkDown, Link: len(net.Topo.Links)})
+	if _, err := Apply(eng, net, bad, 0); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	worse := (&Schedule{}).Add(Event{Kind: SwitchDown, Switch: net.Topo.NumSwitches})
+	if _, err := Apply(eng, net, worse, 0); err == nil {
+		t.Error("out-of-range switch accepted")
+	}
+}

@@ -18,9 +18,14 @@ const (
 	DropDeflectFull                   // deflection targets all full (Vertigo)
 	DropTTL                           // hop budget exhausted
 	DropLinkDown                      // transmitted into a failed link
+	DropCorrupt                       // bit-error corruption on a faulty link
 	DropOther
 	numDropReasons
 )
+
+// NumDropReasons is the number of distinct drop classes (for per-class
+// breakdown tables).
+const NumDropReasons = int(numDropReasons)
 
 func (r DropReason) String() string {
 	switch r {
@@ -32,6 +37,8 @@ func (r DropReason) String() string {
 		return "ttl"
 	case DropLinkDown:
 		return "link-down"
+	case DropCorrupt:
+		return "corrupt"
 	default:
 		return "other"
 	}
@@ -104,6 +111,12 @@ type Collector struct {
 	OrderingHeld int64 // packets buffered by the Vertigo ordering layer
 	OrderTimeout int64 // ordering-layer timeouts fired
 	Boosted      int64 // retransmitted packets whose RFS was boosted
+
+	// Fault-injection accounting (see internal/faults).
+	FaultEvents    int64        // fault transitions applied to the fabric
+	FIBInstalls    int64        // control-plane healing FIB swaps
+	Recoveries     []units.Time // carrier-loss durations of recovered links
+	PostRecoveryTx int64        // packets transmitted on a once-failed, recovered port
 }
 
 // NewCollector returns an empty collector.
@@ -158,6 +171,12 @@ func (c *Collector) StartQuery(scale int, t units.Time) int {
 func (c *Collector) Drop(reason DropReason, class FlowClass) {
 	c.Drops[reason]++
 	c.DropsByClass[class]++
+}
+
+// Recovered records one link's carrier-loss duration when it comes back up,
+// the raw series behind the time-to-recover summary stats.
+func (c *Collector) Recovered(down units.Time) {
+	c.Recoveries = append(c.Recoveries, down)
 }
 
 // TotalDrops sums drops across reasons.

@@ -56,6 +56,16 @@ type Summary struct {
 	ReorderRate    float64       `json:"reorder_rate"` // reordered / delivered
 	OverallGoodput units.BitRate `json:"overall_goodput_bps"`
 
+	// Fault-injection accounting. DropsByReason breaks Drops down per class
+	// (overflow, deflect-full, ttl, link-down, corrupt, other); MTTR is the
+	// mean carrier-loss duration over links that recovered in-run.
+	DropsByReason  map[string]int64 `json:"drops_by_reason,omitempty"`
+	FaultEvents    int64            `json:"fault_events,omitempty"`
+	FIBInstalls    int64            `json:"fib_installs,omitempty"`
+	LinkRecoveries int              `json:"link_recoveries,omitempty"`
+	MTTR           units.Time       `json:"mttr_ns,omitempty"`
+	PostRecoveryTx int64            `json:"post_recovery_tx,omitempty"`
+
 	// Log-bucketed completion-time distributions: the whole shape survives
 	// serialization even when the raw series are stripped (Compact).
 	FCTHist *Histogram `json:"fct_hist,omitempty"`
@@ -131,6 +141,19 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 	s.RTOs = c.RTOs
 	s.FastRetx = c.FastRetx
 	s.ReorderPkts = c.ReorderPkts
+	for r := DropReason(0); r < numDropReasons; r++ {
+		if c.Drops[r] > 0 {
+			if s.DropsByReason == nil {
+				s.DropsByReason = make(map[string]int64, NumDropReasons)
+			}
+			s.DropsByReason[r.String()] = c.Drops[r]
+		}
+	}
+	s.FaultEvents = c.FaultEvents
+	s.FIBInstalls = c.FIBInstalls
+	s.LinkRecoveries = len(c.Recoveries)
+	s.MTTR = Mean(c.Recoveries)
+	s.PostRecoveryTx = c.PostRecoveryTx
 	if end > 0 {
 		// Computed in floating point: 8*bytes*1e9 overflows int64 beyond
 		// ~1.1 GB of goodput.
@@ -200,5 +223,9 @@ func (s *Summary) String() string {
 	fmt.Fprintf(&b, "reordered pkts      %d (%.4f%%)\n", s.ReorderPkts, 100*s.ReorderRate)
 	fmt.Fprintf(&b, "goodput             %v overall, %v per elephant (%d flows)\n",
 		s.OverallGoodput, s.ElephantGoodput, s.ElephantFlows)
+	if s.FaultEvents > 0 {
+		fmt.Fprintf(&b, "faults              %d events, %d FIB heals, %d link recoveries (MTTR %v), %d post-recovery tx\n",
+			s.FaultEvents, s.FIBInstalls, s.LinkRecoveries, s.MTTR, s.PostRecoveryTx)
+	}
 	return b.String()
 }

@@ -8,6 +8,7 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+	"time"
 
 	"vertigo/internal/units"
 )
@@ -72,6 +73,10 @@ type Engine struct {
 	// Self-instrumentation (see Stats).
 	freeHits    uint64 // alloc calls served from the free list
 	peakPending int    // high-water mark of the event heap
+
+	// Wall-clock watchdog (see SetWallDeadline).
+	wallDeadline time.Time
+	deadlineHit  bool
 }
 
 // NewEngine returns an engine whose randomness is derived from seed.
@@ -141,13 +146,40 @@ func (e *Engine) After(d units.Time, fn Handler) Timer {
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetWallDeadline arms a wall-clock watchdog: Run aborts (as if Stop were
+// called) once real time exceeds now+d, and DeadlineExceeded reports true.
+// The check runs every few thousand events, so determinism of the executed
+// prefix is unaffected — only where the run is truncated depends on the
+// wall clock, and callers treat truncation as a failure, never as a result.
+// A non-positive d disarms the watchdog.
+func (e *Engine) SetWallDeadline(d time.Duration) {
+	if d <= 0 {
+		e.wallDeadline = time.Time{}
+		return
+	}
+	e.wallDeadline = time.Now().Add(d)
+}
+
+// DeadlineExceeded reports whether a Run was aborted by the wall-clock
+// watchdog armed with SetWallDeadline.
+func (e *Engine) DeadlineExceeded() bool { return e.deadlineHit }
+
+// wallCheckMask throttles the watchdog to one clock read per 16 Ki events.
+const wallCheckMask = 1<<14 - 1
+
 // Run executes events in order until the queue is empty, until Stop is
-// called, or until the next event would fire after the until deadline.
-// It returns the time at which the run ended.
+// called, until the wall-clock watchdog fires, or until the next event would
+// fire after the until deadline. It returns the time at which the run ended.
 func (e *Engine) Run(until units.Time) units.Time {
 	e.stopped = false
+	watchdog := !e.wallDeadline.IsZero()
 	for len(e.heap) > 0 && !e.stopped {
 		if e.heap[0].at > until {
+			break
+		}
+		if watchdog && e.fired&wallCheckMask == 0 && time.Now().After(e.wallDeadline) {
+			e.deadlineHit = true
+			e.stopped = true
 			break
 		}
 		ev := heap.Pop(&e.heap).(*event)

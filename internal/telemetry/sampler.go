@@ -56,6 +56,7 @@ type Sampler struct {
 
 	samples   []Sample
 	truncated int64
+	marks     []FaultEvent // fault annotations (see fault.go)
 
 	// DepthHist is the log-bucketed distribution of queue occupancy (bytes)
 	// observed at every enqueue — the queue-depth histogram of the run.
@@ -168,6 +169,25 @@ func (s *Sampler) WriteCSV(w io.Writer, runLabel string, header bool) error {
 			sm.Port.String(),
 			strconv.FormatInt(int64(sm.Queue), 10),
 			strconv.FormatFloat(sm.Util, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	// Fault annotations share the schema: the port column carries the
+	// transition (e.g. "fault:link-down:5"), queue/util are zero. Plotting
+	// tools can split on the "fault:" prefix to draw the fault timeline.
+	for _, ev := range s.marks {
+		subject := ev.Link
+		if ev.Switch >= 0 {
+			subject = ev.Switch
+		}
+		rec := []string{
+			runLabel,
+			strconv.FormatInt(int64(ev.Time), 10),
+			fmt.Sprintf("fault:%s:%d", ev.Kind, subject),
+			"0",
+			"0",
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -95,6 +95,11 @@ type Monitor struct {
 	ports map[PortKey]*PortStats
 
 	episodes []Episode
+	// Fault stream (see fault.go): every transition, plus the open carrier
+	// losses and completed time-to-recover samples derived from it.
+	faults     []FaultEvent
+	linkDownAt map[int]units.Time
+	ttrs       []units.Time
 	// DeflectionHist[n] counts delivered data packets that were deflected
 	// exactly n times (n capped at len-1).
 	DeflectionHist [17]int64
@@ -258,6 +263,14 @@ func (m *Monitor) WriteReport(w io.Writer, elapsed units.Time, topN int) {
 	micro := m.Microbursts()
 	fmt.Fprintf(w, "congestion episodes: %d total, %d microbursts (<= %v)\n",
 		len(m.episodes), len(micro), m.cfg.MicroburstMax)
+	if len(m.faults) > 0 {
+		fmt.Fprintf(w, "fault events: %d", len(m.faults))
+		if len(m.ttrs) > 0 {
+			fmt.Fprintf(w, ", %d link recoveries (mean TTR %v)",
+				len(m.ttrs), metrics.Mean(m.ttrs))
+		}
+		fmt.Fprintln(w)
+	}
 	var hist strings.Builder
 	for n, c := range m.DeflectionHist {
 		if c > 0 && n > 0 {

@@ -138,27 +138,51 @@ func (t *Topology) Finalize() error {
 // buildFIB runs a reverse BFS from every destination host across the switch
 // graph and records, per switch, every port that lies on a shortest path.
 func (t *Topology) buildFIB() {
-	t.FIB = make([][][]int, t.NumSwitches)
-	t.Dist = make([][]int, t.NumSwitches)
-	for sw := range t.FIB {
-		t.FIB[sw] = make([][]int, t.NumHosts)
-		t.Dist[sw] = make([]int, t.NumHosts)
+	t.FIB, t.Dist = t.fibAndDist(nil)
+}
+
+// FIBExcluding recomputes the shortest-path forwarding tables over the
+// subgraph that omits every link for which dead reports true — the table a
+// converged control plane would install after routing around failures. The
+// receiver is not modified; install the result with fabric.Network.InstallFIB.
+// Destinations whose every path crosses a dead link get empty entries
+// (traffic to them is unroutable until the links recover). A nil dead is
+// equivalent to the full topology.
+func (t *Topology) FIBExcluding(dead func(link int) bool) [][][]int {
+	fib, _ := t.fibAndDist(dead)
+	return fib
+}
+
+// fibAndDist computes the FIB and hop-distance tables, skipping links for
+// which dead reports true (nil = keep all).
+func (t *Topology) fibAndDist(dead func(link int) bool) ([][][]int, [][]int) {
+	fibT := make([][][]int, t.NumSwitches)
+	distT := make([][]int, t.NumSwitches)
+	for sw := range fibT {
+		fibT[sw] = make([][]int, t.NumHosts)
+		distT[sw] = make([]int, t.NumHosts)
 	}
 
-	// Switch adjacency: neighbor switch -> connecting ports.
+	// Switch adjacency: neighbor switch -> connecting ports, dead links
+	// filtered out up front.
 	type adj struct{ sw, port int }
 	neighbors := make([][]adj, t.NumSwitches)
 	for sw := range t.PortPeer {
 		for p, peer := range t.PortPeer[sw] {
-			if !peer.Host {
-				neighbors[sw] = append(neighbors[sw], adj{peer.Node, p})
+			if peer.Host || (dead != nil && dead(t.PortLink[sw][p])) {
+				continue
 			}
+			neighbors[sw] = append(neighbors[sw], adj{peer.Node, p})
 		}
 	}
 
 	dist := make([]int, t.NumSwitches)
 	queue := make([]int, 0, t.NumSwitches)
 	for dst := 0; dst < t.NumHosts; dst++ {
+		if dead != nil && dead(t.HostLink[dst]) {
+			// The destination's access link is dead: no switch can reach it.
+			continue
+		}
 		tor := t.HostToR[dst]
 		for i := range dist {
 			dist[i] = -1
@@ -176,9 +200,9 @@ func (t *Topology) buildFIB() {
 			}
 		}
 		for sw := 0; sw < t.NumSwitches; sw++ {
-			t.Dist[sw][dst] = dist[sw] + 1 // +1 for the final host hop
+			distT[sw][dst] = dist[sw] + 1 // +1 for the final host hop
 			if sw == tor {
-				t.FIB[sw][dst] = []int{t.HostPeer[dst].Port}
+				fibT[sw][dst] = []int{t.HostPeer[dst].Port}
 				continue
 			}
 			var ports []int
@@ -187,7 +211,8 @@ func (t *Topology) buildFIB() {
 					ports = append(ports, n.port)
 				}
 			}
-			t.FIB[sw][dst] = ports
+			fibT[sw][dst] = ports
 		}
 	}
+	return fibT, distT
 }
