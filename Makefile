@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-obs exp-small exp-medium examples clean
+.PHONY: all build test test-short race vet bench bench-core bench-obs exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -19,13 +19,25 @@ test-short:
 	$(GO) test -short ./...
 
 # Race detector over everything, including the parallel sweep runner and the
-# concurrent-experiments test.
+# concurrent-experiments test. The sweep-heavy exp package needs the long
+# timeout on single-CPU runners.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # Regenerate every paper table/figure at benchmark (tiny) scale.
 bench: bench-obs
 	$(GO) test -bench=. -benchmem ./...
+
+# Standing event-core benchmark: engine micro-benches (events/sec, ns/op,
+# allocs/op, the cancel-churn delta against the frozen baseline) plus one
+# full parallel sweep, recorded as BENCH_core.json so the perf trajectory of
+# the hot loop is tracked in-repo. Sweep benches run a whole experiment per
+# iteration, hence -benchtime=1x for that pass.
+bench-core:
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -benchtime 1s . && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem -benchtime 1x . ; } \
+	  | $(GO) run ./cmd/benchjson -out BENCH_core.json
+	@echo "BENCH_core.json:" && cat BENCH_core.json
 
 # Standing observability benchmark: a tiny instrumented fig1 sweep whose
 # manifest (events/sec, wall time, run count) is the tracked blob.

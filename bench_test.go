@@ -26,6 +26,7 @@ import (
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
+	"vertigo/internal/sim/baseline"
 	"vertigo/internal/topo"
 	"vertigo/internal/transport"
 	"vertigo/internal/units"
@@ -257,7 +258,8 @@ func BenchmarkSweepParallel(b *testing.B) {
 }
 
 // BenchmarkEngineAllocs pins the engine's event free list: steady-state
-// schedule/fire cycles reuse recycled event structs, so allocs/op is 0.
+// schedule/cancel/fire cycles reuse recycled event structs, so allocs/op
+// is 0 even with a tombstoned timer reaped per op.
 func BenchmarkEngineAllocs(b *testing.B) {
 	eng := sim.NewEngine(1)
 	fn := func() {}
@@ -268,7 +270,9 @@ func BenchmarkEngineAllocs(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		tm := eng.After(50, fn)
 		eng.After(100, fn)
+		tm.Cancel()
 		eng.Run(eng.Now() + 200)
 	}
 }
@@ -334,6 +338,111 @@ func BenchmarkEngine(b *testing.B) {
 	b.ResetTimer()
 	eng.After(100, tick)
 	eng.Run(units.Time(1) << 60)
+}
+
+// BenchmarkEngineChained measures the fire-and-forget fast path: a Sched
+// handler rescheduling itself rides one self-rescheduling event frame, the
+// pattern saturated fabric ports follow.
+func BenchmarkEngineChained(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			eng.SchedAfter(100, tick)
+		}
+	}
+	b.ResetTimer()
+	eng.Sched(100, tick)
+	eng.Run(units.Time(1) << 60)
+	b.StopTimer()
+	reportEventsPerSec(b, eng)
+}
+
+// cancelChurnFlows and friends model TCP Reno's retransmit-timer churn: many
+// flows each hold a long-deadline RTO timer that is cancelled and re-armed on
+// every ACK, while simulated time crawls forward packet by packet. The RTO is
+// three orders of magnitude longer than the inter-ACK gap, so under lazy
+// cancellation nearly every cancelled frame must be reclaimed by the
+// amortized sweep rather than by reaching its deadline.
+const (
+	cancelChurnFlows = 256
+	cancelChurnRTO   = 4096
+	cancelChurnStep  = 4
+)
+
+// BenchmarkEngineCancelChurn is the Cancel-heavy regression benchmark for
+// the 4-ary lazy-cancellation heap.
+func BenchmarkEngineCancelChurn(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	timers := make([]sim.Timer, cancelChurnFlows)
+	for i := range timers {
+		timers[i] = eng.After(units.Time(cancelChurnRTO+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % cancelChurnFlows
+		timers[f].Cancel()
+		eng.Run(eng.Now() + cancelChurnStep)
+		timers[f] = eng.After(cancelChurnRTO, fn)
+	}
+	b.StopTimer()
+	st := eng.Stats()
+	b.ReportMetric(float64(st.TombstonedPops)/float64(b.N), "tombstones/op")
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(st.Scheduled)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkEngineCancelChurnBaseline runs the identical churn script on the
+// frozen pre-rewrite engine (container/heap, eager heap.Remove cancel) so
+// BENCH_core.json records the rewrite's delta in the same process.
+func BenchmarkEngineCancelChurnBaseline(b *testing.B) {
+	eng := baseline.NewEngine()
+	fn := func() {}
+	timers := make([]baseline.Timer, cancelChurnFlows)
+	for i := range timers {
+		timers[i] = eng.After(units.Time(cancelChurnRTO+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := i % cancelChurnFlows
+		timers[f].Cancel()
+		eng.Run(eng.Now() + cancelChurnStep)
+		timers[f] = eng.After(cancelChurnRTO, fn)
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+}
+
+// BenchmarkEngineFanout stresses heap depth: a wide population of pending
+// events (deep-buffer sweeps hold tens of thousands) with steady push/pop.
+func BenchmarkEngineFanout(b *testing.B) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	const pendingEvents = 1 << 14
+	for i := 0; i < pendingEvents; i++ {
+		eng.After(units.Time(1000+i*7%8999), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(10000, fn) // lands deep in the pending population
+		eng.Run(eng.Now() + 1)
+	}
+	b.StopTimer()
+	reportEventsPerSec(b, eng)
+}
+
+func reportEventsPerSec(b *testing.B, eng *sim.Engine) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(eng.Events())/b.Elapsed().Seconds(), "events/s")
+	}
 }
 
 // BenchmarkQueueImpl compares the rank-sorted queue against the FIFO at

@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_core.json perf-trajectory blob: per-benchmark ns/op, B/op,
+// allocs/op and custom metrics, plus the headline comparison between the
+// event core and its frozen pre-rewrite baseline.
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem . | benchjson -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	N           int64              `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	// Custom b.ReportMetric units, e.g. "events/s", "speedup_vs_j1".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// CancelChurn compares BenchmarkEngineCancelChurn against its frozen
+	// pre-rewrite twin: the standing ≥20% events/sec acceptance gate for
+	// the lazy-cancellation heap.
+	CancelChurn *Comparison `json:"cancel_churn,omitempty"`
+}
+
+// Comparison is a new-vs-baseline delta derived from two benchmarks.
+type Comparison struct {
+	EngineNsPerOp   float64 `json:"engine_ns_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	// ImprovementPct is the events/sec gain of the rewrite over the
+	// baseline on the same op stream: (baseline/engine - 1) * 100.
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if eng, base := find(rep.Benchmarks, "BenchmarkEngineCancelChurn"),
+		find(rep.Benchmarks, "BenchmarkEngineCancelChurnBaseline"); eng != nil && base != nil {
+		rep.CancelChurn = &Comparison{
+			EngineNsPerOp:   eng.NsPerOp,
+			BaselineNsPerOp: base.NsPerOp,
+			ImprovementPct:  (base.NsPerOp/eng.NsPerOp - 1) * 100,
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkEngine-4   72765992   18.51 ns/op   123 events/s   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped (absent on single-CPU runners);
+// sub-benchmarks keep their /slash path. Everything after the iteration
+// count is "value unit" pairs.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, N: n}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = &v
+		case "allocs/op":
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	if b.NsPerOp == 0 && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func find(bs []Benchmark, name string) *Benchmark {
+	for i := range bs {
+		if bs[i].Name == name {
+			return &bs[i]
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -6,11 +6,23 @@
 package buffer
 
 import (
-	"sort"
-
 	"vertigo/internal/packet"
 	"vertigo/internal/units"
 )
+
+// compact reclaims the consumed prefix of a deferred-compaction queue slice
+// once the head index dominates it, returning the live suffix moved to the
+// front. When the backing array was grown by a deep burst and occupancy has
+// fallen far below it, the array is released and the live packets move to a
+// right-sized allocation — otherwise a single burst would pin peak memory
+// for the rest of the run.
+func compact(pkts []*packet.Packet, head int) []*packet.Packet {
+	live := pkts[head:]
+	if c := cap(pkts); c > 1024 && len(live) <= c/4 {
+		return append(make([]*packet.Packet, 0, 2*len(live)), live...)
+	}
+	return append(pkts[:0], live...)
+}
 
 // Queue is a bounded packet queue. Implementations track occupancy in bytes
 // against a fixed capacity; admission control (what to do when a packet does
@@ -67,7 +79,7 @@ func (q *DropTailQueue) Pop() *packet.Packet {
 	q.bytes -= p.Size()
 	// Reclaim the consumed prefix once it dominates the slice.
 	if q.head > 64 && q.head*2 >= len(q.pkts) {
-		q.pkts = append(q.pkts[:0], q.pkts[q.head:]...)
+		q.pkts = compact(q.pkts, q.head)
 		q.head = 0
 	}
 	return p
@@ -110,10 +122,19 @@ func NewSorted(capacity units.ByteSize) *SortedQueue {
 
 // insertionPoint returns the index (into q.pkts, so >= q.head) where a packet
 // with the given rank is inserted: after all packets with rank <= r (FIFO
-// among equals).
+// among equals). The binary search is written out so the comparison inlines
+// instead of going through a sort.Search closure.
 func (q *SortedQueue) insertionPoint(r uint32) int {
-	n := len(q.pkts) - q.head
-	return q.head + sort.Search(n, func(i int) bool { return q.pkts[q.head+i].Rank() > r })
+	lo, hi := q.head, len(q.pkts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q.pkts[mid].Rank() <= r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Push inserts p by rank if it fits.
@@ -127,7 +148,17 @@ func (q *SortedQueue) Push(p *packet.Packet) bool {
 }
 
 func (q *SortedQueue) insert(p *packet.Packet) {
-	i := q.insertionPoint(p.Rank())
+	r := p.Rank()
+	// Tail fast path: a rank at or above the current maximum appends without
+	// searching or shifting (FIFO among equals puts the newcomer last). This
+	// is the common case — SRPT ranks grow as flows age, so steady arrivals
+	// land at the tail.
+	if n := len(q.pkts); n > q.head && q.pkts[n-1].Rank() <= r {
+		q.pkts = append(q.pkts, p)
+		q.bytes += p.Size()
+		return
+	}
+	i := q.insertionPoint(r)
 	if i == q.head && q.head > 0 {
 		// New minimum: reuse the slot Pop just vacated instead of shifting.
 		q.head--
@@ -151,7 +182,7 @@ func (q *SortedQueue) Pop() *packet.Packet {
 	q.bytes -= p.Size()
 	// Reclaim the consumed prefix once it dominates the slice.
 	if q.head > 64 && q.head*2 >= len(q.pkts) {
-		q.pkts = append(q.pkts[:0], q.pkts[q.head:]...)
+		q.pkts = compact(q.pkts, q.head)
 		q.head = 0
 	}
 	return p

@@ -294,3 +294,67 @@ func TestFits(t *testing.T) {
 		}
 	}
 }
+
+// TestBurstCapacityReleased pins the deferred-compaction shrink: a deep
+// burst grows the backing array, and once the queue drains the array must be
+// released rather than pinning peak memory for the rest of the run.
+func TestBurstCapacityReleased(t *testing.T) {
+	const burst = 8192
+	for _, tc := range []struct {
+		name string
+		mk   func() Queue
+		pcap func(Queue) int
+	}{
+		{"droptail", func() Queue { return NewDropTail(1 << 40) },
+			func(q Queue) int { return cap(q.(*DropTailQueue).pkts) }},
+		{"sorted", func() Queue { return NewSorted(1 << 40) },
+			func(q Queue) int { return cap(q.(*SortedQueue).pkts) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := tc.mk()
+			for i := 0; i < burst; i++ {
+				if !q.Push(dataPkt(uint32(i), 100)) {
+					t.Fatal("push failed below capacity")
+				}
+			}
+			peak := tc.pcap(q)
+			if peak < burst {
+				t.Fatalf("backing array cap %d, want >= %d", peak, burst)
+			}
+			// Drain to a trickle, with light steady-state traffic so the
+			// compaction path keeps running.
+			for q.Len() > 16 {
+				q.Pop()
+				if q.Len()%512 == 0 {
+					q.Push(dataPkt(1, 100))
+					q.Pop()
+				}
+			}
+			if got := tc.pcap(q); got*4 > peak {
+				t.Fatalf("%s backing array cap %d after drain, want <= peak/4 (%d)",
+					tc.name, got, peak/4)
+			}
+			if q.Len() != 16 {
+				t.Fatalf("live packets %d, want 16", q.Len())
+			}
+		})
+	}
+}
+
+// TestSortedTailFastPathOrder pins that the tail-append fast path preserves
+// exactly the old insertion semantics: ascending and equal ranks append,
+// FIFO among equals, and a smaller rank still finds its sorted slot.
+func TestSortedTailFastPathOrder(t *testing.T) {
+	q := NewSorted(1 << 30)
+	a, b, c, d := dataPkt(5, 100), dataPkt(5, 100), dataPkt(9, 100), dataPkt(3, 100)
+	for _, p := range []*packet.Packet{a, b, c, d} {
+		q.Push(p)
+	}
+	want := []*packet.Packet{d, a, b, c}
+	for i, w := range want {
+		if got := q.Pop(); got != w {
+			t.Fatalf("pop %d: got rank %d, want rank %d (FIFO-among-equals violated)",
+				i, got.Info.RFS, w.Info.RFS)
+		}
+	}
+}

@@ -614,7 +614,12 @@ func (pt *Port) maybeSend() {
 	if o := pt.net.obs; o != nil {
 		o.Transmit(pt.sw, pt.idx, p, tx, pt.q.Bytes())
 	}
-	eng.After(tx, pt.txDone)
+	// Fire-and-forget scheduling: neither callback is ever cancelled, so no
+	// Timer handle is needed, and when this runs inside txDone (back-to-back
+	// transmissions) or arrive (receive-side forwarding), the firing frame
+	// self-reschedules in place — a saturated port rides a single tx event
+	// instead of cycling one through the free list per packet.
+	eng.SchedAfter(tx, pt.txDone)
 	if pt.ber > 0 && eng.Rand().Float64() < pt.ber {
 		// Bit-error corruption: the bits occupy the wire for the full
 		// serialization time, but the far end discards the frame on checksum.
@@ -622,7 +627,7 @@ func (pt *Port) maybeSend() {
 		return
 	}
 	pt.inflight = append(pt.inflight, p)
-	eng.After(tx+pt.delay, pt.arrive)
+	eng.SchedAfter(tx+pt.delay, pt.arrive)
 }
 
 // Switch is an output-queued switch running one forwarding policy.

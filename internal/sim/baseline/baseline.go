@@ -1,0 +1,186 @@
+// Package baseline freezes the pre-rewrite event core: a container/heap
+// binary heap with eager (heap.Remove) cancellation. It exists so that the
+// standing `make bench-core` run can measure the current engine against the
+// implementation it replaced in the same process and record the delta in
+// BENCH_core.json, and so the cross-validation tests have a second,
+// independently-written scheduler to agree with. It is not used by any
+// simulation code path; do not "optimise" it — its value is staying exactly
+// as slow as it was.
+package baseline
+
+import (
+	"container/heap"
+
+	"vertigo/internal/units"
+)
+
+// Handler is a callback invoked when an event fires.
+type Handler func()
+
+type event struct {
+	at    units.Time
+	seq   uint64
+	fn    Handler
+	index int
+	gen   uint64
+	dead  bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the frozen pre-rewrite scheduler. Construct with NewEngine.
+type Engine struct {
+	heap    eventHeap
+	now     units.Time
+	seq     uint64
+	stopped bool
+	fired   uint64
+	free    []*event
+}
+
+// NewEngine returns a baseline engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	ev.dead = false
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute time t.
+func (e *Engine) At(t units.Time, fn Handler) Timer {
+	if t < e.now {
+		panic("baseline: scheduling event in the past")
+	}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return Timer{engine: e, ev: ev, gen: ev.gen}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn Handler) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, Stop is called, or
+// the next event would fire after the until deadline.
+func (e *Engine) Run(until units.Time) units.Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+// Timer is a cancellable handle to a scheduled event.
+type Timer struct {
+	engine *Engine
+	ev     *event
+	gen    uint64
+}
+
+func (t Timer) valid() bool {
+	return t.ev != nil && t.ev.gen == t.gen
+}
+
+// Cancel prevents the event from firing, eagerly removing it from the heap
+// (the O(log n) cancel path the rewrite made lazy). Reports whether the
+// event was pending.
+func (t Timer) Cancel() bool {
+	if !t.valid() || t.ev.dead {
+		return false
+	}
+	if t.ev.index < 0 {
+		t.ev.dead = true
+		return false
+	}
+	ev := t.ev
+	ev.dead = true
+	heap.Remove(&t.engine.heap, ev.index)
+	t.engine.recycle(ev)
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t Timer) Pending() bool {
+	return t.valid() && !t.ev.dead && t.ev.index >= 0
+}
+
+// At returns the scheduled fire time, or 0 once fired or cancelled.
+func (t Timer) At() units.Time {
+	if !t.valid() {
+		return 0
+	}
+	return t.ev.at
+}

@@ -3,10 +3,18 @@
 // fully deterministic: events scheduled for the same instant fire in the
 // order they were scheduled, and all randomness flows from one seeded
 // source, so a (config, seed) pair always produces identical results.
+//
+// The scheduler is a hand-rolled indexed-free 4-ary min-heap over recycled
+// *event frames, ordered by (time, seq). Compared to container/heap it does
+// no interface boxing on the hot path, the (at, seq) comparison is inlined
+// into the sift loops, and the wider fan-out halves the tree depth walked
+// per operation while keeping sibling comparisons inside one cache line.
+// Cancellation is lazy: Timer.Cancel tombstones the frame in place and the
+// run loop reaps it when it surfaces at the heap root, so the cancel path —
+// which TCP retransmit timers hit on every ACK — is O(1).
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -17,62 +25,38 @@ import (
 type Handler func()
 
 // event is a scheduled callback. Events are recycled through the engine's
-// free list once fired or cancelled; gen distinguishes incarnations so that
+// free list once fired or reaped; gen distinguishes incarnations so that
 // a Timer held across its event's recycling can never act on the new tenant.
+// A tombstoned (dead) event stays in the heap until it surfaces at the root,
+// where Run discards it without firing.
 type event struct {
 	at    units.Time
 	seq   uint64 // schedule order, breaks timestamp ties deterministically
 	fn    Handler
-	index int    // heap index, -1 once popped
 	gen   uint64 // incarnation counter, bumped on recycle
-	dead  bool
-}
-
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	dead  bool   // tombstone: cancelled, reaped lazily at pop
+	chain bool   // fire-and-forget (Sched): frame may self-reschedule in place
 }
 
 // Engine is a discrete-event scheduler.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	heap    eventHeap
+	heap    []*event // 4-ary min-heap on (at, seq); may contain tombstones
 	now     units.Time
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
-	free    []*event // recycled events: At/After allocate from here
+	live    int      // scheduled minus tombstoned: the real pending work
+	free    []*event // recycled events: At/After/Sched allocate from here
+	cur     *event   // firing chainable frame, reusable in place by Sched
 
 	// Self-instrumentation (see Stats).
 	freeHits    uint64 // alloc calls served from the free list
-	peakPending int    // high-water mark of the event heap
+	tombPops    uint64 // tombstoned events reaped at pop or sweep
+	sweeps      uint64 // amortized heap sweeps triggered by Cancel
+	peakPending int    // high-water mark of live scheduled events
 
 	// Wall-clock watchdog (see SetWallDeadline).
 	wallDeadline time.Time
@@ -94,8 +78,9 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Events returns the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.fired }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of events currently scheduled and not
+// cancelled. Tombstoned events still sitting in the heap are not counted.
+func (e *Engine) Pending() int { return e.live }
 
 // alloc takes an event off the free list, or makes a fresh one.
 func (e *Engine) alloc() *event {
@@ -109,29 +94,137 @@ func (e *Engine) alloc() *event {
 	return &event{}
 }
 
-// recycle returns a fired or cancelled event to the free list. Bumping gen
+// recycle returns a fired or reaped event to the free list. Bumping gen
 // invalidates every Timer still pointing at the event.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
-	ev.index = -1
 	ev.dead = false
 	e.free = append(e.free, ev)
+}
+
+// push inserts ev into the 4-ary heap, sifting it up with inlined
+// (at, seq) comparisons. seq values are unique, so ties cannot occur and
+// strict comparisons suffice.
+func (e *Engine) push(ev *event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	at, seq := ev.at, ev.seq
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := h[p]
+		if pe.at < at || (pe.at == at && pe.seq < seq) {
+			break
+		}
+		h[i] = pe
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+// siftDown places ev at index i of h[:n], sifting it down through the
+// at-most-four children per level with inlined (at, seq) comparisons.
+func siftDown(h []*event, ev *event, i, n int) {
+	at, seq := ev.at, ev.seq
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, me := c, h[c]
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			ce := h[j]
+			if ce.at < me.at || (ce.at == me.at && ce.seq < me.seq) {
+				m, me = j, ce
+			}
+		}
+		if at < me.at || (at == me.at && seq < me.seq) {
+			break
+		}
+		h[i] = me
+		i = m
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum (at, seq) event.
+func (e *Engine) pop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	if n > 0 {
+		siftDown(h, last, 0, n)
+	}
+	e.heap = h
+	return top
+}
+
+// sweep filters every tombstone out of the heap, recycles the frames, and
+// re-heapifies the survivors in place. Cancel triggers it once tombstones
+// outnumber live events, so the cost is O(n) but amortized O(1) per cancel;
+// without it, long-deadline timers re-armed at high rate (TCP RTOs reset on
+// every ACK) would pile dead frames up until their deadlines pass, inflating
+// both the heap depth and the frame pool. Heap order is a total order on
+// (at, seq), so rebuilding the heap cannot change pop order.
+func (e *Engine) sweep() {
+	h := e.heap
+	kept := h[:0]
+	for _, ev := range h {
+		if ev.dead {
+			e.tombPops++
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(h); i++ {
+		h[i] = nil
+	}
+	n := len(kept)
+	for i := (n - 2) >> 2; i >= 0; i-- {
+		siftDown(kept, kept[i], i, n)
+	}
+	e.heap = kept
+	e.sweeps++
+}
+
+// schedule allocates (or reuses) a frame for (t, fn) and pushes it.
+func (e *Engine) schedule(t units.Time, fn Handler, chain bool) *event {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	var ev *event
+	if chain && e.cur != nil {
+		// Self-rescheduling fast path: the firing fire-and-forget frame is
+		// reused in place, skipping the free-list round trip. No Timer can
+		// reference a chainable frame, so gen need not move.
+		ev = e.cur
+		e.cur = nil
+	} else {
+		ev = e.alloc()
+	}
+	ev.at, ev.seq, ev.fn, ev.chain = t, e.seq, fn, chain
+	e.seq++
+	e.push(ev)
+	e.live++
+	if e.live > e.peakPending {
+		e.peakPending = e.live
+	}
+	return ev
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a modelling bug rather than a recoverable condition.
 func (e *Engine) At(t units.Time, fn Handler) Timer {
-	if t < e.now {
-		panic("sim: scheduling event in the past")
-	}
-	ev := e.alloc()
-	ev.at, ev.seq, ev.fn = t, e.seq, fn
-	e.seq++
-	heap.Push(&e.heap, ev)
-	if len(e.heap) > e.peakPending {
-		e.peakPending = len(e.heap)
-	}
+	ev := e.schedule(t, fn, false)
 	return Timer{engine: e, ev: ev, gen: ev.gen}
 }
 
@@ -141,6 +234,25 @@ func (e *Engine) After(d units.Time, fn Handler) Timer {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Sched schedules fn to run at absolute time t with no Timer handle: the
+// event cannot be cancelled or observed. Ordering is identical to At — the
+// same (time, seq) tie-break, drawn from the same sequence counter. When
+// called from inside a handler that was itself scheduled by Sched, the
+// firing event's frame is reused in place, so a saturated transmit chain
+// rides a single self-rescheduling event. Like At, scheduling in the past
+// panics.
+func (e *Engine) Sched(t units.Time, fn Handler) {
+	e.schedule(t, fn, true)
+}
+
+// SchedAfter schedules fn to run d after the current time; see Sched.
+func (e *Engine) SchedAfter(d units.Time, fn Handler) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn, true)
 }
 
 // Stop makes Run return after the current event completes.
@@ -182,16 +294,34 @@ func (e *Engine) Run(until units.Time) units.Time {
 			e.stopped = true
 			break
 		}
-		ev := heap.Pop(&e.heap).(*event)
+		ev := e.pop()
 		if ev.dead {
+			// Lazily-cancelled tombstone surfacing at the root: reap it.
+			// live was already decremented when Cancel tombstoned it.
+			e.tombPops++
 			e.recycle(ev)
 			continue
 		}
+		e.live--
 		e.now = ev.at
 		e.fired++
 		fn := ev.fn
-		e.recycle(ev)
-		fn()
+		if ev.chain {
+			// Fire-and-forget frame: leave it parked in cur so the handler's
+			// first Sched can rearm it in place. Recycling is deferred — no
+			// Timer exists that could observe the frame mid-fire.
+			e.cur = ev
+			fn()
+			if e.cur != nil { // handler did not reschedule the frame
+				e.recycle(ev)
+				e.cur = nil
+			}
+		} else {
+			// Timer-backed event: recycle before firing so the handle is
+			// already inert (and the frame reusable) inside its own handler.
+			e.recycle(ev)
+			fn()
+		}
 	}
 	if e.now < until && !e.stopped {
 		e.now = until
@@ -203,10 +333,12 @@ func (e *Engine) Run(until units.Time) units.Time {
 // run did and how well the event free list recycled. Events/sec derived from
 // Events and wall time is the simulator's standing throughput signal.
 type EngineStats struct {
-	Events       uint64 `json:"events"`         // handlers fired
-	Scheduled    uint64 `json:"scheduled"`      // events scheduled via At/After
-	FreeListHits uint64 `json:"free_list_hits"` // scheduled events reusing a recycled frame
-	PeakPending  int    `json:"peak_pending"`   // high-water mark of the event heap
+	Events         uint64 `json:"events"`          // handlers fired
+	Scheduled      uint64 `json:"scheduled"`       // events scheduled via At/After/Sched
+	FreeListHits   uint64 `json:"free_list_hits"`  // scheduled events reusing a recycled frame
+	TombstonedPops uint64 `json:"tombstoned_pops"` // lazily-cancelled events reaped at pop or sweep
+	HeapSweeps     uint64 `json:"heap_sweeps"`     // amortized tombstone sweeps triggered by Cancel
+	PeakPending    int    `json:"peak_pending"`    // high-water mark of live pending events
 }
 
 // FreeListHitRate returns the fraction of scheduled events that reused a
@@ -219,13 +351,15 @@ func (s EngineStats) FreeListHitRate() float64 {
 }
 
 // Stats returns the engine's instrumentation counters. The sequence counter
-// doubles as the scheduled-event count: it increments once per At/After.
+// doubles as the scheduled-event count: it increments once per At/After/Sched.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Events:       e.fired,
-		Scheduled:    e.seq,
-		FreeListHits: e.freeHits,
-		PeakPending:  e.peakPending,
+		Events:         e.fired,
+		Scheduled:      e.seq,
+		FreeListHits:   e.freeHits,
+		TombstonedPops: e.tombPops,
+		HeapSweeps:     e.sweeps,
+		PeakPending:    e.peakPending,
 	}
 }
 
@@ -246,30 +380,36 @@ func (t Timer) valid() bool {
 
 // Cancel prevents the event from firing. Cancelling a zero, already-fired or
 // already-cancelled timer is a no-op. Reports whether the event was pending.
+//
+// Cancellation is lazy: the event is tombstoned in place and reaped when it
+// reaches the heap root, so Cancel is O(1) — no re-sift, no bookkeeping on
+// the path retransmit timers hit on every ACK.
 func (t Timer) Cancel() bool {
-	if !t.valid() || t.ev.dead {
-		return false
-	}
-	if t.ev.index < 0 { // already popped (firing right now)
-		t.ev.dead = true
-		return false
-	}
 	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.dead {
+		return false
+	}
 	ev.dead = true
-	heap.Remove(&t.engine.heap, ev.index)
-	t.engine.recycle(ev)
+	e := t.engine
+	e.live--
+	// Amortized garbage bound: once tombstones outnumber live events, sweep
+	// them out so cancel-heavy workloads cannot inflate the heap or starve
+	// the free list while waiting for dead deadlines to pass.
+	if n := len(e.heap); n >= 64 && e.live < n-e.live {
+		e.sweep()
+	}
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
 func (t Timer) Pending() bool {
-	return t.valid() && !t.ev.dead && t.ev.index >= 0
+	return t.valid() && !t.ev.dead
 }
 
 // At returns the time the timer is scheduled to fire, or 0 for a zero Timer
 // or one whose event has already fired or been cancelled.
 func (t Timer) At() units.Time {
-	if !t.valid() {
+	if !t.valid() || t.ev.dead {
 		return 0
 	}
 	return t.ev.at

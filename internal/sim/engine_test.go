@@ -274,6 +274,187 @@ func TestPropertyCancelSubset(t *testing.T) {
 	}
 }
 
+// TestPendingExcludesCancelled pins the live-event counter: with lazy
+// cancellation the tombstones stay in the heap, but Pending, PeakPending and
+// the progress lines built on them must keep reporting real pending work.
+func TestPendingExcludesCancelled(t *testing.T) {
+	eng := NewEngine(1)
+	timers := make([]Timer, 10)
+	for i := range timers {
+		timers[i] = eng.At(units.Time(100+i), func() {})
+	}
+	if eng.Pending() != 10 {
+		t.Fatalf("Pending() = %d after scheduling 10, want 10", eng.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		if !timers[i].Cancel() {
+			t.Fatalf("cancel %d reported not-pending", i)
+		}
+	}
+	if eng.Pending() != 6 {
+		t.Fatalf("Pending() = %d after 4 cancels, want 6", eng.Pending())
+	}
+	eng.Run(units.Second)
+	if eng.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", eng.Pending())
+	}
+	st := eng.Stats()
+	if st.Events != 6 {
+		t.Fatalf("Events = %d, want 6", st.Events)
+	}
+	if st.TombstonedPops != 4 {
+		t.Fatalf("TombstonedPops = %d, want 4", st.TombstonedPops)
+	}
+	if st.PeakPending != 10 {
+		t.Fatalf("PeakPending = %d, want 10", st.PeakPending)
+	}
+}
+
+// TestCancelDuringOwnHandler pins the pre-rewrite semantics: by the time a
+// handler runs, its own timer is already inert, so cancelling it reports
+// false and does not disturb the (already recycled) frame.
+func TestCancelDuringOwnHandler(t *testing.T) {
+	eng := NewEngine(1)
+	var tm Timer
+	cancelled := true
+	tm = eng.At(10, func() { cancelled = tm.Cancel() })
+	eng.Run(units.Second)
+	if cancelled {
+		t.Fatal("cancelling a timer inside its own handler reported pending")
+	}
+}
+
+// TestCancelledTimerInert pins the observable state of a lazily-cancelled
+// timer while its tombstone is still sitting in the heap.
+func TestCancelledTimerInert(t *testing.T) {
+	eng := NewEngine(1)
+	tm := eng.At(100, func() { t.Error("cancelled event fired") })
+	tm.Cancel()
+	// Tombstone not yet reaped: the handle must already read as dead.
+	if tm.Pending() {
+		t.Fatal("cancelled timer still Pending")
+	}
+	if tm.At() != 0 {
+		t.Fatalf("cancelled timer At() = %v, want 0", tm.At())
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel reported pending")
+	}
+	eng.Run(units.Second)
+}
+
+// TestSchedOrderingMatchesAt pins that Sched events share the (time, seq)
+// tie-break sequence with At events: interleaved same-instant events fire in
+// call order regardless of which API scheduled them.
+func TestSchedOrderingMatchesAt(t *testing.T) {
+	eng := NewEngine(1)
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if i%2 == 0 {
+			eng.Sched(42, func() { got = append(got, i) })
+		} else {
+			eng.At(42, func() { got = append(got, i) })
+		}
+	}
+	eng.Run(units.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order violated at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) != 20 {
+		t.Fatalf("fired %d events, want 20", len(got))
+	}
+}
+
+// TestSchedChainReusesFrame pins the self-rescheduling fast path: a Sched
+// handler rescheduling itself reuses its own frame, so a long chain touches
+// neither the allocator nor the free list.
+func TestSchedChainReusesFrame(t *testing.T) {
+	eng := NewEngine(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 1000 {
+			eng.SchedAfter(10, tick)
+		}
+	}
+	eng.Sched(0, tick)
+	eng.Run(units.Second)
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
+	}
+	st := eng.Stats()
+	if st.Scheduled != 1000 {
+		t.Fatalf("Scheduled = %d, want 1000", st.Scheduled)
+	}
+	// Only the first Sched allocated a frame; 999 reschedules rode it in
+	// place without a free-list round trip.
+	if st.FreeListHits != 0 {
+		t.Fatalf("FreeListHits = %d, want 0 (chain must bypass the free list)", st.FreeListHits)
+	}
+}
+
+func TestSchedPastPanics(t *testing.T) {
+	eng := NewEngine(1)
+	eng.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Sched in the past did not panic")
+			}
+		}()
+		eng.Sched(50, func() {})
+	})
+	eng.Run(units.Second)
+}
+
+// TestStaleTimerAfterChainReuse pins gen safety across the chain fast path:
+// a frame that once backed a Timer and is later recycled into a Sched chain
+// must stay invisible to the stale handle for the chain's whole lifetime.
+func TestStaleTimerAfterChainReuse(t *testing.T) {
+	eng := NewEngine(1)
+	stale := eng.At(10, func() {})
+	eng.Run(20) // fires; frame now on the free list with gen bumped
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if stale.Cancel() || stale.Pending() || stale.At() != 0 {
+			t.Fatal("stale timer observed a chained frame")
+		}
+		if hops < 10 {
+			eng.SchedAfter(5, hop)
+		}
+	}
+	eng.Sched(30, hop) // reuses the recycled frame from the free list
+	eng.Run(units.Second)
+	if hops != 10 {
+		t.Fatalf("chain fired %d hops, want 10", hops)
+	}
+}
+
+// TestCancelPathZeroAllocs pins the full schedule/cancel/reap cycle at zero
+// allocations once the free list is warm.
+func TestCancelPathZeroAllocs(t *testing.T) {
+	eng := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		eng.After(units.Time(i), fn)
+	}
+	eng.Run(1 << 20)
+	avg := testing.AllocsPerRun(200, func() {
+		tm := eng.After(50, fn)
+		eng.After(100, fn)
+		tm.Cancel()
+		eng.Run(eng.Now() + 200)
+	})
+	if avg > 0 {
+		t.Fatalf("schedule/cancel/fire allocates %.2f per cycle, want 0", avg)
+	}
+}
+
 func TestEventCount(t *testing.T) {
 	eng := NewEngine(1)
 	for i := 0; i < 10; i++ {

@@ -87,7 +87,7 @@ func NewSampler(eng *sim.Engine, cfg SamplerConfig) *Sampler {
 func (s *Sampler) Start(until units.Time) {
 	s.ends = until
 	if s.cfg.Tick <= until {
-		s.eng.After(s.cfg.Tick, s.tick)
+		s.eng.SchedAfter(s.cfg.Tick, s.tick)
 	}
 }
 
@@ -107,7 +107,8 @@ func (s *Sampler) onTick() {
 		s.samples = append(s.samples, Sample{Time: now, Port: k, Queue: ps.occ, Util: util})
 	}
 	if now+s.cfg.Tick <= s.ends {
-		s.eng.After(s.cfg.Tick, s.tick)
+		// Self-rescheduling tick: the firing frame is reused in place.
+		s.eng.SchedAfter(s.cfg.Tick, s.tick)
 	}
 }
 
