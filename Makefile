@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-core bench-obs exp-small exp-medium examples clean
+.PHONY: all build test test-short race vet bench bench-core bench-obs bench-run bench-merge exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -45,6 +45,24 @@ bench-obs:
 	$(GO) run ./cmd/vertigo-exp -scale tiny -sample-tick 200us -out artifacts fig1 >/dev/null
 	cp artifacts/manifest.json BENCH_obs.json
 	@echo "BENCH_obs.json:" && cat BENCH_obs.json
+
+# Standing whole-run throughput benchmark: one frozen leaf-spine incast
+# scenario simulated end-to-end (pkts/s, pkts/run) plus the per-packet
+# datapath alloc gauges, recorded as BENCH_run.json. The pkts/s baseline
+# is sticky: -prev carries the recorded pre-optimization reference
+# forward so improvement_pct always reads against the same run.
+bench-run:
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkRunThroughput' -benchtime 3x . && \
+	   $(GO) test -run '^$$' -bench 'BenchmarkDatapath' -benchmem -benchtime 200000x . ; } \
+	  | $(GO) run ./cmd/benchjson -prev BENCH_run.json -out BENCH_run.json
+	@echo "BENCH_run.json:" && cat BENCH_run.json
+
+# Fold the per-suite blobs into BENCH.json, keyed by git revision, so the
+# perf trajectory across PRs lives in one file.
+bench-merge:
+	$(GO) run ./cmd/benchjson -merge -rev $$(git rev-parse --short HEAD) \
+	  -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json
+	@echo "BENCH.json:" && cat BENCH.json
 
 # Regenerate every paper table/figure from the CLI.
 exp-small:

@@ -1,0 +1,163 @@
+package vertigo_test
+
+// Whole-run throughput benchmarks: where BenchmarkEngine* time the event
+// core in isolation, these run a fixed end-to-end scenario and report
+// simulated packets per wall second — the number a user actually waits on.
+// `make bench-run` records BenchmarkRunThroughput in BENCH_run.json and CI
+// gates regressions, the same way BENCH_core.json tracks events/sec.
+
+import (
+	"testing"
+
+	"vertigo/internal/core"
+	"vertigo/internal/exp"
+	"vertigo/internal/fabric"
+	"vertigo/internal/host"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// runThroughputConfig is the frozen BenchmarkRunThroughput scenario: the
+// Tiny leaf-spine fabric under the paper's headline-style mix (25%
+// background + 60% incast, Vertigo + DCTCP), heavy enough to exercise the
+// marker, orderer, host demux and metrics per-packet paths at realistic
+// flow churn. Changing it invalidates the BENCH_run.json trajectory.
+func runThroughputConfig() core.Config {
+	sc := exp.Tiny
+	cfg := core.DefaultConfig(fabric.Vertigo, transport.DCTCP)
+	cfg.Seed = 1
+	cfg.SimTime = 60 * units.Millisecond
+	cfg.Kind = core.LeafSpine
+	cfg.LeafSpineCfg.Spines = sc.Spines
+	cfg.LeafSpineCfg.Leaves = sc.Leaves
+	cfg.LeafSpineCfg.HostsPerLeaf = sc.HostsPerLeaf
+	cfg.IncastScale = sc.IncastScale
+	cfg.IncastFlowSize = int64(sc.IncastFlowKB) * 1000
+	cfg.BGLoad = 0.25
+	cfg.SetIncastLoad(0.60)
+	return cfg
+}
+
+// BenchmarkRunThroughput runs the frozen leaf-spine incast scenario
+// end-to-end once per iteration and reports simulated data packets
+// transmitted per wall second ("pkts/s"), the standing whole-run
+// throughput gauge gated by the bench-run CI job.
+func BenchmarkRunThroughput(b *testing.B) {
+	cfg := runThroughputConfig()
+	var pkts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = res.Summary.PacketsSent
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(pkts)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		b.ReportMetric(float64(pkts), "pkts/run")
+	}
+}
+
+// --- datapath steady-state allocation benchmarks -----------------------------
+//
+// The per-packet fast paths the flow tables sit on must not allocate in
+// steady state; CI fails if any of these reports >0 allocs/op.
+
+// BenchmarkDatapathMarkerAllocs measures the simulator marker's per-packet
+// cost on a warm flow: flow-table hit, duplicate-filter probe, header stamp.
+func BenchmarkDatapathMarkerAllocs(b *testing.B) {
+	m := host.NewMarker(host.DefaultMarkerConfig())
+	const segs = 1 << 12
+	const size = int64(segs) * packet.MSS
+	m.StartFlow(1, 0, size)
+	p := &packet.Packet{Flow: 1, Kind: packet.Data, PayloadLen: packet.MSS}
+	for i := 0; i < segs; i++ { // warm: every segment marked once
+		p.Seq = int64(i) * packet.MSS
+		m.Mark(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seq = int64(i%segs) * packet.MSS
+		m.Mark(p)
+	}
+}
+
+// BenchmarkDatapathOrdererAllocs measures the simulator orderer's
+// per-packet cost on an in-order warm stream (the overwhelmingly common
+// case): flow-table hit, position compare, direct delivery.
+func BenchmarkDatapathOrdererAllocs(b *testing.B) {
+	eng := sim.NewEngine(1)
+	deliver := func(p *packet.Packet) {}
+	o := host.NewOrderer(eng, host.DefaultOrdererConfig(), deliver)
+	const segs = 1 << 12
+	const size = uint32(segs) * packet.MSS
+	mk := func(flow uint64, i int) *packet.Packet {
+		return &packet.Packet{
+			Flow: flow, Kind: packet.Data, PayloadLen: packet.MSS, Marked: true,
+			Info: packet.FlowInfo{RFS: size - uint32(i)*packet.MSS, First: i == 0},
+		}
+	}
+	pkts := make([]*packet.Packet, segs)
+	for i := range pkts {
+		pkts[i] = mk(1, i)
+	}
+	flow := uint64(1)
+	o.Receive(pkts[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg := (i + 1) % segs
+		if seg == 0 { // flow finished last iteration: start the next one
+			flow++
+			for j := range pkts {
+				pkts[j].Flow = flow
+			}
+		}
+		o.Receive(pkts[seg])
+	}
+}
+
+// BenchmarkDatapathDRILLAllocs measures DRILL's per-packet routing cost —
+// two random queue samples plus the per-group least-loaded memory — through
+// a real switch, including enqueue/dequeue.
+func BenchmarkDatapathDRILLAllocs(b *testing.B) {
+	net, eng := benchFabric(b, fabric.DRILL)
+	var ids packet.IDGen
+	sw := net.Switch(4) // a leaf switch: has spine uplinks to balance over
+	p := &packet.Packet{ID: ids.Next(), Kind: packet.Data, Src: 0, Dst: 15,
+		Flow: 7, PayloadLen: packet.MSS}
+	sw.Receive(p)
+	eng.Run(eng.Now() + units.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Hops = 0
+		sw.Receive(p)
+		eng.Run(eng.Now() + 50*units.Microsecond) // drain so queues stay shallow
+	}
+}
+
+// benchFabric builds a Tiny leaf-spine fabric for datapath benchmarks.
+func benchFabric(b *testing.B, policy fabric.Policy) (*fabric.Network, *sim.Engine) {
+	b.Helper()
+	cfg := runThroughputConfig()
+	tp, err := topo.NewLeafSpine(cfg.LeafSpineCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	met := metrics.NewCollector()
+	net := fabric.New(eng, tp, met, fabric.DefaultConfig(policy))
+	for h := 0; h < tp.NumHosts; h++ {
+		host.NewHost(h, eng, net, met,
+			host.DefaultMarkerConfig(), host.DefaultOrdererConfig(), false)
+	}
+	return net, eng
+}

@@ -1,9 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin into the
-// BENCH_core.json perf-trajectory blob: per-benchmark ns/op, B/op,
-// allocs/op and custom metrics, plus the headline comparison between the
-// event core and its frozen pre-rewrite baseline.
+// BENCH_*.json perf-trajectory blobs: per-benchmark ns/op, B/op,
+// allocs/op and custom metrics, plus headline comparisons — the event
+// core against its frozen pre-rewrite baseline, and whole-run simulated
+// packets/sec against the recorded pre-optimization baseline.
 //
 //	go test -run '^$' -bench BenchmarkEngine -benchmem . | benchjson -out BENCH_core.json
+//	go test -run '^$' -bench BenchmarkRunThroughput . | benchjson -prev BENCH_run.json -out BENCH_run.json
+//
+// With -merge it instead combines the per-suite blobs into one BENCH.json
+// history keyed by git revision:
+//
+//	benchjson -merge -rev $(git rev-parse --short HEAD) -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json
 package main
 
 import (
@@ -19,11 +26,11 @@ import (
 
 // Benchmark is one parsed `go test -bench` result line.
 type Benchmark struct {
-	Name        string             `json:"name"`
-	N           int64              `json:"n"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Name        string   `json:"name"`
+	N           int64    `json:"n"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Custom b.ReportMetric units, e.g. "events/s", "speedup_vs_j1".
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -38,6 +45,20 @@ type Report struct {
 	// pre-rewrite twin: the standing ≥20% events/sec acceptance gate for
 	// the lazy-cancellation heap.
 	CancelChurn *Comparison `json:"cancel_churn,omitempty"`
+	// RunThroughput tracks BenchmarkRunThroughput, the whole-run simulated
+	// packets/sec gauge. The baseline is sticky: regenerating the report
+	// with -prev carries the recorded pre-optimization number forward, so
+	// improvement_pct always reads against the same reference run.
+	RunThroughput *RunThroughput `json:"run_throughput,omitempty"`
+}
+
+// RunThroughput is the whole-run packets/sec comparison.
+type RunThroughput struct {
+	BaselinePktsPerSec float64 `json:"baseline_pkts_per_sec"`
+	PktsPerSec         float64 `json:"pkts_per_sec"`
+	PktsPerRun         float64 `json:"pkts_per_run"`
+	// ImprovementPct is (pkts_per_sec/baseline - 1) * 100.
+	ImprovementPct float64 `json:"improvement_pct"`
 }
 
 // Comparison is a new-vs-baseline delta derived from two benchmarks.
@@ -51,7 +72,18 @@ type Comparison struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	prev := flag.String("prev", "", "carry the run-throughput baseline forward from this existing report")
+	baseline := flag.Float64("baseline", 0, "explicit run-throughput baseline in pkts/s (overrides -prev)")
+	merge := flag.Bool("merge", false, "merge the report files given as arguments into a revision-keyed history")
+	rev := flag.String("rev", "", "git revision key for -merge entries")
 	flag.Parse()
+
+	if *merge {
+		if err := mergeReports(*out, *rev, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rep := Report{
 		GoVersion: runtime.Version(),
@@ -77,6 +109,22 @@ func main() {
 			EngineNsPerOp:   eng.NsPerOp,
 			BaselineNsPerOp: base.NsPerOp,
 			ImprovementPct:  (base.NsPerOp/eng.NsPerOp - 1) * 100,
+		}
+	}
+	if rt := find(rep.Benchmarks, "BenchmarkRunThroughput"); rt != nil && rt.Metrics["pkts/s"] > 0 {
+		cur := rt.Metrics["pkts/s"]
+		base := *baseline
+		if base == 0 && *prev != "" {
+			base = prevBaseline(*prev)
+		}
+		if base == 0 {
+			base = cur // bootstrap: first report is its own reference
+		}
+		rep.RunThroughput = &RunThroughput{
+			BaselinePktsPerSec: base,
+			PktsPerSec:         cur,
+			PktsPerRun:         rt.Metrics["pkts/run"],
+			ImprovementPct:     (cur/base - 1) * 100,
 		}
 	}
 
@@ -149,6 +197,74 @@ func find(bs []Benchmark, name string) *Benchmark {
 		}
 	}
 	return nil
+}
+
+// prevBaseline reads the sticky run-throughput baseline out of an existing
+// report. A missing or malformed file yields 0 (caller bootstraps), so the
+// first generation works without special-casing.
+func prevBaseline(path string) float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var rep Report
+	if json.Unmarshal(data, &rep) != nil || rep.RunThroughput == nil {
+		return 0
+	}
+	return rep.RunThroughput.BaselinePktsPerSec
+}
+
+// mergeReports folds the given BENCH_*.json files into one revision-keyed
+// history: {"<rev>": {"core": {...}, "obs": {...}, "run": {...}}}. The
+// suite key is derived from the file name (BENCH_core.json -> "core").
+// Existing entries for other revisions are preserved; the entry for rev is
+// rebuilt from the files present, and absent files are skipped.
+func mergeReports(out, rev string, files []string) error {
+	if rev == "" {
+		return fmt.Errorf("-merge requires -rev")
+	}
+	if out == "" {
+		return fmt.Errorf("-merge requires -out")
+	}
+	history := make(map[string]map[string]json.RawMessage)
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &history); err != nil {
+			return fmt.Errorf("existing %s: %w", out, err)
+		}
+	}
+	entry := make(map[string]json.RawMessage)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping %s: %v\n", f, err)
+			continue
+		}
+		if !json.Valid(data) {
+			return fmt.Errorf("%s: not valid JSON", f)
+		}
+		entry[suiteKey(f)] = json.RawMessage(data)
+	}
+	if len(entry) == 0 {
+		return fmt.Errorf("no report files readable")
+	}
+	history[rev] = entry
+	enc, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(enc, '\n'), 0o644)
+}
+
+// suiteKey maps a report file name to its history key: BENCH_core.json ->
+// "core", BENCH_obs.json -> "obs". Unrecognized names keep their stem.
+func suiteKey(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".json")
+	base = strings.TrimPrefix(base, "BENCH_")
+	return base
 }
 
 func fatal(err error) {

@@ -16,10 +16,10 @@ import (
 // fallen far below it, the array is released and the live packets move to a
 // right-sized allocation — otherwise a single burst would pin peak memory
 // for the rest of the run.
-func compact(pkts []*packet.Packet, head int) []*packet.Packet {
+func compact[T any](pkts []T, head int) []T {
 	live := pkts[head:]
 	if c := cap(pkts); c > 1024 && len(live) <= c/4 {
-		return append(make([]*packet.Packet, 0, 2*len(live)), live...)
+		return append(make([]T, 0, 2*len(live)), live...)
 	}
 	return append(pkts[:0], live...)
 }
@@ -109,10 +109,18 @@ func (q *DropTailQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap 
 // compaction scheme DropTailQueue uses), and the freed slot in front of the
 // head is reused when an insertion lands there.
 type SortedQueue struct {
-	pkts  []*packet.Packet
+	pkts []*packet.Packet
+	// ranks mirrors pkts in lockstep: ranks[i] == pkts[i].Rank(). The rank
+	// of a queued packet never changes, and keeping the sort keys in a
+	// contiguous uint32 array lets the binary search and tail comparisons
+	// run over cache lines instead of chasing a packet pointer per probe.
+	ranks []uint32
 	head  int
 	bytes units.ByteSize
 	cap   units.ByteSize
+	// evScratch backs ForceInsert's eviction list, reused across calls so
+	// the overflow path does not allocate per packet.
+	evScratch []*packet.Packet
 }
 
 // NewSorted returns an empty rank-sorted queue with the given byte capacity.
@@ -125,10 +133,10 @@ func NewSorted(capacity units.ByteSize) *SortedQueue {
 // among equals). The binary search is written out so the comparison inlines
 // instead of going through a sort.Search closure.
 func (q *SortedQueue) insertionPoint(r uint32) int {
-	lo, hi := q.head, len(q.pkts)
+	lo, hi := q.head, len(q.ranks)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if q.pkts[mid].Rank() <= r {
+		if q.ranks[mid] <= r {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -153,8 +161,9 @@ func (q *SortedQueue) insert(p *packet.Packet) {
 	// searching or shifting (FIFO among equals puts the newcomer last). This
 	// is the common case — SRPT ranks grow as flows age, so steady arrivals
 	// land at the tail.
-	if n := len(q.pkts); n > q.head && q.pkts[n-1].Rank() <= r {
+	if n := len(q.pkts); n > q.head && q.ranks[n-1] <= r {
 		q.pkts = append(q.pkts, p)
+		q.ranks = append(q.ranks, r)
 		q.bytes += p.Size()
 		return
 	}
@@ -163,10 +172,14 @@ func (q *SortedQueue) insert(p *packet.Packet) {
 		// New minimum: reuse the slot Pop just vacated instead of shifting.
 		q.head--
 		q.pkts[q.head] = p
+		q.ranks[q.head] = r
 	} else {
 		q.pkts = append(q.pkts, nil)
 		copy(q.pkts[i+1:], q.pkts[i:])
 		q.pkts[i] = p
+		q.ranks = append(q.ranks, 0)
+		copy(q.ranks[i+1:], q.ranks[i:])
+		q.ranks[i] = r
 	}
 	q.bytes += p.Size()
 }
@@ -183,6 +196,7 @@ func (q *SortedQueue) Pop() *packet.Packet {
 	// Reclaim the consumed prefix once it dominates the slice.
 	if q.head > 64 && q.head*2 >= len(q.pkts) {
 		q.pkts = compact(q.pkts, q.head)
+		q.ranks = compact(q.ranks, q.head)
 		q.head = 0
 	}
 	return p
@@ -208,6 +222,7 @@ func (q *SortedQueue) ExtractTail() *packet.Packet {
 	p := q.pkts[n-1]
 	q.pkts[n-1] = nil
 	q.pkts = q.pkts[:n-1]
+	q.ranks = q.ranks[:n-1]
 	q.bytes -= p.Size()
 	return p
 }
@@ -216,11 +231,15 @@ func (q *SortedQueue) ExtractTail() *packet.Packet {
 // packets until occupancy is within capacity again. It returns the evicted
 // packets (possibly including p itself, when p carries the largest rank).
 // This implements the paper's "insert and drop from the tail" overflow rule.
-func (q *SortedQueue) ForceInsert(p *packet.Packet) (evicted []*packet.Packet) {
+// The returned slice is owned by the queue and is valid only until the next
+// ForceInsert on the same queue.
+func (q *SortedQueue) ForceInsert(p *packet.Packet) []*packet.Packet {
 	q.insert(p)
+	evicted := q.evScratch[:0]
 	for q.bytes > q.cap {
 		evicted = append(evicted, q.ExtractTail())
 	}
+	q.evScratch = evicted
 	return evicted
 }
 

@@ -84,6 +84,11 @@ func (f *Filter) altIndex(i uint64, fp uint16) uint64 {
 // too full to place the key even after relocation.
 func (f *Filter) Insert(key uint64) bool {
 	fp, i1 := f.fingerprint(key)
+	return f.insert(fp, i1)
+}
+
+// insert places fingerprint fp whose primary bucket is i1, kicking as needed.
+func (f *Filter) insert(fp uint16, i1 uint64) bool {
 	i2 := f.altIndex(i1, fp)
 	if f.place(i1, fp) || f.place(i2, fp) {
 		f.count++
@@ -103,6 +108,21 @@ func (f *Filter) Insert(key uint64) bool {
 			return true
 		}
 	}
+	return false
+}
+
+// ContainsOrAdd reports whether key may already be in the filter and, when
+// it is not, inserts it — hashing the key once instead of the twice a
+// Contains-then-Insert pair costs on the marking hot path. The observable
+// filter state (and the kick RNG stream) evolves exactly as the separate
+// calls would; as with Insert, an over-full filter silently fails to add.
+func (f *Filter) ContainsOrAdd(key uint64) bool {
+	fp, i1 := f.fingerprint(key)
+	i2 := f.altIndex(i1, fp)
+	if f.has(i1, fp) || f.has(i2, fp) {
+		return true
+	}
+	f.insert(fp, i1)
 	return false
 }
 

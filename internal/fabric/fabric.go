@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vertigo/internal/buffer"
+	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
@@ -637,11 +638,20 @@ type Switch struct {
 	ports []*Port
 
 	// DRILL memory: per candidate-group, the least-loaded port last seen.
-	drillMem map[uint64]int
+	// A flowtab keeps the per-packet lookup off Go's map runtime; there are
+	// only a handful of candidate groups per switch, so the last-hit cache
+	// makes the common repeated lookup two loads.
+	drillMem *flowtab.Table[int32]
+
+	// deflScratch backs deflectionSet, rebuilt on every call; victimOne
+	// backs the single-victim overflow case. Both avoid a per-packet
+	// allocation on the deflection paths.
+	deflScratch []int
+	victimOne   [1]*packet.Packet
 }
 
 func newSwitch(n *Network, id int) *Switch {
-	s := &Switch{net: n, id: id, drillMem: make(map[uint64]int)}
+	s := &Switch{net: n, id: id, drillMem: flowtab.New[int32](8)}
 	nports := n.Topo.Ports(id)
 	s.ports = make([]*Port, nports)
 	for p := 0; p < nports; p++ {

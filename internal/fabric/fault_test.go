@@ -83,7 +83,7 @@ func TestLinkStateValidation(t *testing.T) {
 	if err := net.SetLinkRateFactorAt(0, 0, 0); err == nil {
 		t.Error("zero rate factor accepted")
 	}
-	if err := net.SetLinkRateFactorAt(1 << 20, 0, 0.5); err == nil {
+	if err := net.SetLinkRateFactorAt(1<<20, 0, 0.5); err == nil {
 		t.Error("out-of-range link index accepted for rate factor")
 	}
 }

@@ -55,11 +55,11 @@ func (s *Switch) routeDRILL(p *packet.Packet) {
 		rng := s.net.Eng.Rand()
 		consider(cands[rng.Intn(len(cands))])
 		consider(cands[rng.Intn(len(cands))])
-		key := drillKey(cands)
-		if mem, ok := s.drillMem[key]; ok {
-			consider(mem)
+		mem, existed := s.drillMem.Put(drillKey(cands))
+		if existed {
+			consider(int(*mem))
 		}
-		s.drillMem[key] = best
+		*mem = int32(best)
 	}
 	if !s.enqueue(best, p) {
 		s.net.drop(s.id, best, p, metrics.DropOverflow)
@@ -117,15 +117,17 @@ func (s *Switch) routeDIBS(p *packet.Packet) {
 // fabric-facing port except the full one. Host-facing ports are excluded —
 // deflecting into a foreign server's NIC is a guaranteed loss — except the
 // packet's own destination port, which is the full port itself here.
-// The returned slice is freshly allocated and may be permuted by the caller.
+// The returned slice is switch-owned scratch, rebuilt on every call; the
+// caller may permute it but must not hold it across another routing step.
 func (s *Switch) deflectionSet(p *packet.Packet, exclude int) []int {
 	fab := s.net.Topo.FabricPorts[s.id]
-	set := make([]int, 0, len(fab))
+	set := s.deflScratch[:0]
 	for _, i := range fab {
 		if i != exclude {
 			set = append(set, i)
 		}
 	}
+	s.deflScratch = set
 	return set
 }
 
@@ -178,7 +180,8 @@ func (s *Switch) overflowVictims(i int, p *packet.Packet) []*packet.Packet {
 		s.ports[i].maybeSend()
 		return victims
 	}
-	return []*packet.Packet{p}
+	s.victimOne[0] = p
+	return s.victimOne[:]
 }
 
 // deflectVertigo deflects one victim from full port origin.

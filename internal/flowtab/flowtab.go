@@ -1,0 +1,332 @@
+// Package flowtab provides the flow-state tables used on the per-packet
+// datapaths: an open-addressing hash table over uint64 flow keys with
+// slab-allocated values and a one-entry last-hit cache, and a paged byte
+// array for per-segment counters. Both are designed around the access
+// pattern the simulator and the wire components share — long trains of
+// packets hitting the same flow, bounded live-flow populations with heavy
+// churn, and a hard determinism requirement (iteration order must not
+// depend on hash seeds or allocation addresses).
+//
+// Compared with map[uint64]*T on these paths, Table[T] removes the pointer
+// chase to a separately heap-allocated value (values live in one slab),
+// the per-insert allocation (freed slots are recycled through a free
+// list), and the repeated hashing of a hot key (the last-hit cache turns
+// packet trains into two loads and a compare). None of the operations
+// allocate in steady state.
+//
+// Tables are not safe for concurrent use; in the simulator each engine
+// owns its tables, matching the one-goroutine-per-run sweep model.
+package flowtab
+
+// ref is an index into the value slab; -1 marks an empty probe slot.
+type ref = int32
+
+const noRef ref = -1
+
+// Table is an open-addressing hash table from uint64 keys to values of
+// type T stored in a contiguous slab. Lookups return stable pointers: a
+// *T obtained from Get/Put remains valid until that key is deleted (the
+// slab grows by append, but slots are addressed by index internally, so
+// only the caller-visible pointer of the *current* call is guaranteed —
+// callers must not hold *T across an insert, mirroring the
+// metrics.Collector.Flow aliasing rule).
+type Table[T any] struct {
+	// index is the power-of-two probe array holding slab refs.
+	index []ref
+	mask  uint64
+	// Parallel slab arrays: keys[i]/vals[i]/live[i] describe slot i.
+	// Deleted slots keep their previous value bytes so PutReuse can hand
+	// back warm state (buffers, pages) to the next occupant.
+	keys []uint64
+	vals []T
+	live []bool
+	// free is a LIFO of deleted slab slots awaiting reuse.
+	free  []ref
+	count int
+	// last caches the slab slot of the most recent hit: packet trains on
+	// one flow skip the probe loop entirely.
+	last ref
+}
+
+// New returns a table pre-sized for about capacity live entries.
+func New[T any](capacity int) *Table[T] {
+	n := 16
+	for n*3 < capacity*4 { // keep load factor under 3/4 at capacity
+		n *= 2
+	}
+	t := &Table[T]{index: make([]ref, n), mask: uint64(n - 1), last: noRef}
+	for i := range t.index {
+		t.index[i] = noRef
+	}
+	if capacity > 0 {
+		t.keys = make([]uint64, 0, capacity)
+		t.vals = make([]T, 0, capacity)
+		t.live = make([]bool, 0, capacity)
+	}
+	return t
+}
+
+// hash is the splitmix64 finalizer: full-avalanche, seedless (the same
+// key hashes identically in every run, part of the determinism story).
+func hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len reports the number of live entries.
+func (t *Table[T]) Len() int { return t.count }
+
+// Get returns a pointer to key's value, or nil if absent.
+func (t *Table[T]) Get(key uint64) *T {
+	if r := t.last; r != noRef && t.keys[r] == key && t.live[r] {
+		return &t.vals[r]
+	}
+	i := hash(key) & t.mask
+	for {
+		r := t.index[i]
+		if r == noRef {
+			return nil
+		}
+		if t.keys[r] == key {
+			t.last = r
+			return &t.vals[r]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Put returns a pointer to key's value, inserting a zeroed entry if
+// absent. existed reports whether the key was already present.
+func (t *Table[T]) Put(key uint64) (v *T, existed bool) {
+	return t.put(key, true)
+}
+
+// PutReuse is Put, except that a freshly inserted entry occupying a
+// recycled slot keeps the previous occupant's value bytes instead of
+// being zeroed. Callers use it to hand grown buffers (orderer
+// reorder buffers, retx pages) to the next flow; they must reset every
+// semantic field themselves.
+func (t *Table[T]) PutReuse(key uint64) (v *T, existed bool) {
+	return t.put(key, false)
+}
+
+func (t *Table[T]) put(key uint64, zero bool) (*T, bool) {
+	i := hash(key) & t.mask
+	for {
+		r := t.index[i]
+		if r == noRef {
+			break
+		}
+		if t.keys[r] == key {
+			t.last = r
+			return &t.vals[r], true
+		}
+		i = (i + 1) & t.mask
+	}
+	if (t.count+1)*4 > len(t.index)*3 {
+		t.grow()
+		i = hash(key) & t.mask
+		for t.index[i] != noRef {
+			i = (i + 1) & t.mask
+		}
+	}
+	var r ref
+	if n := len(t.free); n > 0 {
+		r = t.free[n-1]
+		t.free = t.free[:n-1]
+		if zero {
+			var z T
+			t.vals[r] = z
+		}
+	} else {
+		r = ref(len(t.vals))
+		var z T
+		t.keys = append(t.keys, 0)
+		t.vals = append(t.vals, z)
+		t.live = append(t.live, false)
+	}
+	t.keys[r] = key
+	t.live[r] = true
+	t.index[i] = r
+	t.count++
+	t.last = r
+	return &t.vals[r], false
+}
+
+// grow doubles the probe array and reindexes the slab. Slab slots (and
+// therefore iteration order and Ref values) are unchanged.
+func (t *Table[T]) grow() {
+	n := len(t.index) * 2
+	t.index = make([]ref, n)
+	t.mask = uint64(n - 1)
+	for i := range t.index {
+		t.index[i] = noRef
+	}
+	for r := range t.keys {
+		if !t.live[r] {
+			continue
+		}
+		i := hash(t.keys[r]) & t.mask
+		for t.index[i] != noRef {
+			i = (i + 1) & t.mask
+		}
+		t.index[i] = ref(r)
+	}
+}
+
+// Delete removes key, reporting whether it was present. The slab slot is
+// pushed on the free list; its value bytes are retained for PutReuse.
+func (t *Table[T]) Delete(key uint64) bool {
+	i := hash(key) & t.mask
+	for {
+		r := t.index[i]
+		if r == noRef {
+			return false
+		}
+		if t.keys[r] == key {
+			t.live[r] = false
+			t.free = append(t.free, r)
+			t.count--
+			t.unlink(i)
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// unlink removes probe slot i with backward-shift deletion, keeping every
+// remaining entry reachable without tombstones.
+func (t *Table[T]) unlink(i uint64) {
+	j := i
+	for {
+		t.index[i] = noRef
+		for {
+			j = (j + 1) & t.mask
+			r := t.index[j]
+			if r == noRef {
+				return
+			}
+			// Move r back to the freed slot unless its ideal position
+			// lies cyclically between the freed slot and its current one
+			// (in which case moving would break its probe chain).
+			k := hash(t.keys[r]) & t.mask
+			if (j-k)&t.mask >= (j-i)&t.mask {
+				t.index[i] = r
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Ref returns a stable handle for key, or -1 if absent. A ref stays
+// valid for the lifetime of the table and survives slab growth; after
+// the key is deleted, AtRef on it reports ok=false (and a slot recycled
+// to a different key reports that key). Refs let per-entry callbacks
+// (timer closures) be built once and reused across occupants.
+func (t *Table[T]) Ref(key uint64) int32 {
+	if r := t.last; r != noRef && t.keys[r] == key && t.live[r] {
+		return r
+	}
+	i := hash(key) & t.mask
+	for {
+		r := t.index[i]
+		if r == noRef {
+			return noRef
+		}
+		if t.keys[r] == key {
+			return r
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// AtRef resolves a handle from Ref to its current key and value.
+func (t *Table[T]) AtRef(r int32) (key uint64, v *T, ok bool) {
+	if r < 0 || int(r) >= len(t.keys) || !t.live[r] {
+		return 0, nil, false
+	}
+	return t.keys[r], &t.vals[r], true
+}
+
+// Range calls f for each live entry in slab order — the order keys were
+// first inserted, with freed slots reused LIFO — which is a pure
+// function of the operation history, never of hash values or addresses:
+// the determinism guarantee sweeps rely on. f may delete the entry it
+// was called with; entries inserted during iteration into fresh slots
+// are visited, into recycled slots behind the cursor are not. Returning
+// false stops the walk.
+func (t *Table[T]) Range(f func(key uint64, v *T) bool) {
+	for r := 0; r < len(t.live); r++ {
+		if t.live[r] && !f(t.keys[r], &t.vals[r]) {
+			return
+		}
+	}
+}
+
+// Reset drops every entry while keeping the slab and probe array for
+// reuse. Value bytes are retained (as with Delete).
+func (t *Table[T]) Reset() {
+	for i := range t.index {
+		t.index[i] = noRef
+	}
+	t.free = t.free[:0]
+	// Refill the free list so the lowest slots are handed out first,
+	// matching a fresh table's allocation order.
+	for r := len(t.live) - 1; r >= 0; r-- {
+		t.live[r] = false
+		t.free = append(t.free, ref(r))
+	}
+	t.count = 0
+	t.last = noRef
+}
+
+// pageShift sizes PagedU8 pages: 512 counters (= 512 MSS segments,
+// ~750 KB of flow) per 512-byte page.
+const pageShift = 9
+
+const pageMask = (1 << pageShift) - 1
+
+// PagedU8 is a sparse []uint8 indexed by segment number, used for the
+// per-flow retransmission counters that replaced map[int64]uint8: flows
+// with no retransmissions never allocate a page, and pages are retained
+// across Reset so a recycled flow slot reuses its predecessor's memory.
+type PagedU8 struct {
+	pages [][]uint8
+}
+
+// Get returns the counter at index i (0 if its page was never written).
+func (p *PagedU8) Get(i int64) uint8 {
+	pg := i >> pageShift
+	if pg >= int64(len(p.pages)) || p.pages[pg] == nil {
+		return 0
+	}
+	return p.pages[pg][i&pageMask]
+}
+
+// Set stores v at index i, allocating the page on first touch.
+func (p *PagedU8) Set(i int64, v uint8) {
+	pg := i >> pageShift
+	for int64(len(p.pages)) <= pg {
+		p.pages = append(p.pages, nil)
+	}
+	b := p.pages[pg]
+	if b == nil {
+		b = make([]uint8, 1<<pageShift)
+		p.pages[pg] = b
+	}
+	b[i&pageMask] = v
+}
+
+// Reset zeroes all counters, keeping allocated pages for the next flow.
+func (p *PagedU8) Reset() {
+	for _, b := range p.pages {
+		if b != nil {
+			clear(b)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package flowtab
+
+import "testing"
+
+// FuzzTableVsMap drives a Table and a plain map with the same byte-coded
+// operation stream and requires identical observable behavior — the same
+// cross-validation style as the sim package's scheduler fuzz tests. Each
+// input byte encodes one operation on a 64-key space: op = b>>6
+// (0/1 put, 2 delete, 3 get+iterate), key = b&63. The tiny key space
+// maximizes collision, recycling, and backward-shift coverage per input.
+func FuzzTableVsMap(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0x81, 0xc1})
+	f.Add([]byte("interleaved puts and deletes over colliding keys"))
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i*37 + 11)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tb := New[uint16](0)
+		ref := make(map[uint64]uint16)
+		for n, b := range ops {
+			key := uint64(b & 63)
+			switch b >> 6 {
+			case 0, 1: // put, value derived from position
+				val := uint16(n)
+				v, existed := tb.Put(key)
+				if _, inRef := ref[key]; existed != inRef {
+					t.Fatalf("op %d: Put(%d) existed=%v, map says %v", n, key, existed, inRef)
+				}
+				*v = val
+				ref[key] = val
+			case 2:
+				_, inRef := ref[key]
+				if got := tb.Delete(key); got != inRef {
+					t.Fatalf("op %d: Delete(%d)=%v, map says %v", n, key, got, inRef)
+				}
+				delete(ref, key)
+			case 3:
+				v := tb.Get(key)
+				rv, inRef := ref[key]
+				if (v != nil) != inRef || (v != nil && *v != rv) {
+					t.Fatalf("op %d: Get(%d) disagrees with map", n, key)
+				}
+				if tb.Len() != len(ref) {
+					t.Fatalf("op %d: Len %d != %d", n, tb.Len(), len(ref))
+				}
+				sum, cnt := uint64(0), 0
+				tb.Range(func(k uint64, v *uint16) bool {
+					sum += k + uint64(*v)
+					cnt++
+					return true
+				})
+				refSum := uint64(0)
+				for k, v := range ref {
+					refSum += k + uint64(v)
+				}
+				if cnt != len(ref) || sum != refSum {
+					t.Fatalf("op %d: Range saw %d entries (sum %d), map has %d (sum %d)",
+						n, cnt, sum, len(ref), refSum)
+				}
+			}
+		}
+	})
+}

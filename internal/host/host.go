@@ -2,6 +2,7 @@ package host
 
 import (
 	"vertigo/internal/fabric"
+	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
@@ -24,7 +25,7 @@ type Host struct {
 	Marker  *Marker
 	Orderer *Orderer
 
-	handlers map[uint64]func(*packet.Packet)
+	handlers *flowtab.Table[func(*packet.Packet)]
 	accept   Acceptor
 }
 
@@ -37,7 +38,7 @@ func NewHost(id int, eng *sim.Engine, net *fabric.Network, met *metrics.Collecto
 		Eng:      eng,
 		Net:      net,
 		Met:      met,
-		handlers: make(map[uint64]func(*packet.Packet)),
+		handlers: flowtab.New[func(*packet.Packet)](64),
 	}
 	if vertigoStack {
 		h.Marker = NewMarker(mcfg)
@@ -56,10 +57,13 @@ func (h *Host) SetAcceptor(a Acceptor) { h.accept = a }
 func (h *Host) Pool() *packet.Pool { return h.Net.Pool() }
 
 // Bind routes received packets of a flow to fn.
-func (h *Host) Bind(flow uint64, fn func(*packet.Packet)) { h.handlers[flow] = fn }
+func (h *Host) Bind(flow uint64, fn func(*packet.Packet)) {
+	v, _ := h.handlers.Put(flow)
+	*v = fn
+}
 
 // Unbind removes a flow's handler.
-func (h *Host) Unbind(flow uint64) { delete(h.handlers, flow) }
+func (h *Host) Unbind(flow uint64) { h.handlers.Delete(flow) }
 
 // Send transmits p out of the host NIC, marking data packets when the
 // Vertigo stack is enabled.
@@ -91,13 +95,14 @@ func (h *Host) Receive(p *packet.Packet) {
 // dispatch hands p to its flow's handler, consulting the acceptor for new
 // inbound flows.
 func (h *Host) dispatch(p *packet.Packet) {
-	if fn, ok := h.handlers[p.Flow]; ok {
+	if fnp := h.handlers.Get(p.Flow); fnp != nil {
+		fn := *fnp // copy out: fn may Bind, moving the table slab under fnp
 		fn(p)
 		return
 	}
 	if p.Kind == packet.Data && h.accept != nil {
 		if fn := h.accept(p); fn != nil {
-			h.handlers[p.Flow] = fn
+			h.Bind(p.Flow, fn)
 			fn(p)
 			return
 		}

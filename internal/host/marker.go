@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"vertigo/internal/cuckoo"
+	"vertigo/internal/flowtab"
 	"vertigo/internal/packet"
 )
 
@@ -51,22 +52,26 @@ func DefaultMarkerConfig() MarkerConfig {
 }
 
 // markerFlow is the per-flow entry in the marking component's flow table.
+// Entries live in the flow table's slab and are recycled across flows:
+// StartFlow resets every field, and the retx pages keep their backing.
 type markerFlow struct {
 	size   int64
-	flowID uint8
-	retx   map[int64]uint8 // seq -> retransmission count (boost rotations)
+	hi     int64           // highest first-transmitted seq; -1 before any
 	pkts   int64           // packets first-transmitted so far (LAS age)
+	retx   flowtab.PagedU8 // per-segment retransmission count (boost rotations)
+	flowID uint8
 }
 
-// Marker is the TX-path marking component. It tracks outgoing flows in a
-// hash table, tags every data packet with a flowinfo header, and detects
-// retransmissions with a cuckoo filter over (flow, seq) signatures so it can
-// boost their priority (paper §3.1.2). Not safe for concurrent use.
+// Marker is the TX-path marking component. It tracks outgoing flows in an
+// open-addressing flow table, tags every data packet with a flowinfo
+// header, and detects retransmissions with a cuckoo filter over
+// (flow, seq) signatures so it can boost their priority (paper §3.1.2).
+// Not safe for concurrent use.
 type Marker struct {
 	cfg    MarkerConfig
-	flows  map[uint64]*markerFlow
+	flows  *flowtab.Table[markerFlow]
 	filter *cuckoo.Filter
-	nextID map[int]uint8 // per-destination 3-bit flow epoch
+	nextID *flowtab.Table[uint8] // per-destination 3-bit flow epoch
 	// Boosts counts boosting operations applied (telemetry).
 	Boosts int64
 }
@@ -79,38 +84,48 @@ func NewMarker(cfg MarkerConfig) *Marker {
 	}
 	return &Marker{
 		cfg:    cfg,
-		flows:  make(map[uint64]*markerFlow),
+		flows:  flowtab.New[markerFlow](64),
 		filter: cuckoo.New(capHint),
-		nextID: make(map[int]uint8),
+		nextID: flowtab.New[uint8](16),
 	}
 }
 
 // StartFlow registers an outgoing flow of the given total size toward dst.
 // It must be called before the flow's first packet is marked.
 func (m *Marker) StartFlow(flow uint64, dst int, size int64) {
-	id := m.nextID[dst]
-	m.nextID[dst] = (id + 1) % (1 << packet.FlowIDBits)
-	m.flows[flow] = &markerFlow{size: size, flowID: id}
+	idp, _ := m.nextID.Put(uint64(dst))
+	id := *idp
+	*idp = (id + 1) % (1 << packet.FlowIDBits)
+	f, _ := m.flows.PutReuse(flow)
+	f.size = size
+	f.hi = -1
+	f.pkts = 0
+	f.flowID = id
+	f.retx.Reset() // recycled slots must start with clean counters
 }
 
 // EndFlow removes a completed flow from the flow table and clears its
-// signatures from the duplicate filter.
+// signatures from the duplicate filter. Only first-transmitted segments
+// ever entered the filter, so the walk is bounded by the high-water
+// offset actually marked, not the flow's nominal size.
 func (m *Marker) EndFlow(flow uint64) {
-	f, ok := m.flows[flow]
-	if !ok {
+	f := m.flows.Get(flow)
+	if f == nil {
 		return
 	}
-	for seq := int64(0); seq < f.size; seq += packet.MSS {
+	for seq := int64(0); seq <= f.hi; seq += packet.MSS {
 		m.filter.Delete(sig(flow, seq))
 	}
-	if f.size == 0 {
+	if f.size == 0 && f.hi < 0 {
+		// Zero-length flows mark exactly one (empty) segment at seq 0.
 		m.filter.Delete(sig(flow, 0))
 	}
-	delete(m.flows, flow)
+	f.retx.Reset()
+	m.flows.Delete(flow)
 }
 
 // ActiveFlows returns the number of tracked flows.
-func (m *Marker) ActiveFlows() int { return len(m.flows) }
+func (m *Marker) ActiveFlows() int { return m.flows.Len() }
 
 // sig is the packet signature stored in the duplicate filter: in deployment
 // a CRC of the packet headers, here a mix of the flow ID and byte offset.
@@ -132,8 +147,8 @@ func mix(x uint64) uint64 {
 // wiring is broken. Retransmitted packets have their rank boosted by one
 // rotation per retransmission, up to packet.MaxRetx.
 func (m *Marker) Mark(p *packet.Packet) {
-	f, ok := m.flows[p.Flow]
-	if !ok {
+	f := m.flows.Get(p.Flow)
+	if f == nil {
 		panic(fmt.Sprintf("host: marking packet of unregistered flow %d", p.Flow))
 	}
 
@@ -151,21 +166,21 @@ func (m *Marker) Mark(p *packet.Packet) {
 
 	key := sig(p.Flow, p.Seq)
 	retcnt := uint8(0)
-	if m.filter.Contains(key) {
+	if m.filter.ContainsOrAdd(key) {
 		// Retransmission: bump this segment's boost count.
-		if f.retx == nil {
-			f.retx = make(map[int64]uint8)
-		}
-		c := f.retx[p.Seq]
+		seg := p.Seq / packet.MSS
+		c := f.retx.Get(seg)
 		if m.cfg.Boosting && c < packet.MaxRetx {
 			c++
-			f.retx[p.Seq] = c
+			f.retx.Set(seg, c)
 			m.Boosts++
 		}
 		retcnt = c
 	} else {
-		m.filter.Insert(key)
 		f.pkts++
+		if p.Seq > f.hi {
+			f.hi = p.Seq
+		}
 	}
 
 	rfs := base
@@ -173,5 +188,6 @@ func (m *Marker) Mark(p *packet.Packet) {
 		rfs = packet.BoostRFS(rfs, m.cfg.BoostFactorLog2)
 	}
 	p.Marked = true
+	p.InvalidateSize() // marking adds the shim header to the wire size
 	p.Info = packet.FlowInfo{RFS: rfs, RetCnt: retcnt, FlowID: f.flowID, First: first}
 }

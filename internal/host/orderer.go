@@ -1,8 +1,7 @@
 package host
 
 import (
-	"sort"
-
+	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
@@ -38,12 +37,21 @@ type ooEntry struct {
 // orderFlow is the per-flow state of the Fig. 4 state machine. The three
 // paper states map onto the fields: Init ⇔ no state, In-order Receive ⇔
 // empty buf, Out-of-order Receive ⇔ non-empty buf (timer armed).
+//
+// Entries live in the flow table's slab and are recycled: newFlow resets
+// the semantic fields while buf keeps its backing array, and the timer
+// callbacks — built once per slab slot around a stable table ref — are
+// shared by every flow that ever occupies the slot.
 type orderFlow struct {
 	hasExpected bool
-	expected    uint32 // position value of the next in-order packet
 	finished    bool   // flow fully delivered; state lingers as a tombstone
+	expected    uint32 // position value of the next in-order packet
+	finishedAt  units.Time
+	head        int // index of the first live entry in buf
 	buf         []ooEntry
 	timer       sim.Timer
+	timeoutFn   func() // prebuilt o.timeoutRef(slot) closure
+	reclaimFn   func() // prebuilt o.reclaimRef(slot) closure
 }
 
 // Orderer is the RX-path ordering component: the first software entity to
@@ -55,7 +63,7 @@ type Orderer struct {
 	eng     *sim.Engine
 	cfg     OrdererConfig
 	deliver func(*packet.Packet)
-	flows   map[uint64]*orderFlow
+	flows   *flowtab.Table[orderFlow]
 	met     *metrics.Collector // optional aggregate telemetry
 
 	// Telemetry.
@@ -70,14 +78,14 @@ func NewOrderer(eng *sim.Engine, cfg OrdererConfig, deliver func(*packet.Packet)
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultOrdererConfig().Timeout
 	}
-	return &Orderer{eng: eng, cfg: cfg, deliver: deliver, flows: make(map[uint64]*orderFlow)}
+	return &Orderer{eng: eng, cfg: cfg, deliver: deliver, flows: flowtab.New[orderFlow](64)}
 }
 
 // SetCollector mirrors the orderer's telemetry into a metrics collector.
 func (o *Orderer) SetCollector(met *metrics.Collector) { o.met = met }
 
 // ActiveFlows returns the number of flows with ordering state.
-func (o *Orderer) ActiveFlows() int { return len(o.flows) }
+func (o *Orderer) ActiveFlows() int { return o.flows.Len() }
 
 // position returns the packet's un-boosted position value.
 func (o *Orderer) position(p *packet.Packet) uint32 {
@@ -112,20 +120,38 @@ func (o *Orderer) done(nextExpected uint32, p *packet.Packet) bool {
 	return p.Fin
 }
 
+// newFlow creates ordering state for a first-seen flow, recycling a slab
+// slot (and its buffer backing / timer closures) when one is free.
+func (o *Orderer) newFlow(p *packet.Packet, v uint32) *orderFlow {
+	st, _ := o.flows.PutReuse(p.Flow)
+	st.hasExpected = false
+	st.finished = false
+	st.expected = 0
+	st.finishedAt = 0
+	st.head = 0
+	st.buf = st.buf[:0]
+	st.timer = sim.Timer{}
+	if st.timeoutFn == nil {
+		slot := o.flows.Ref(p.Flow)
+		st.timeoutFn = func() { o.timeoutRef(slot) }
+		st.reclaimFn = func() { o.reclaimRef(slot) }
+	}
+	if p.Info.First {
+		st.hasExpected = true
+		st.expected = v
+	}
+	// A flow whose first-seen packet is not flagged First started with
+	// reordering; we buffer until the First packet or a timeout reveals
+	// where to start.
+	return st
+}
+
 // Receive processes one marked data packet.
 func (o *Orderer) Receive(p *packet.Packet) {
 	v := o.position(p)
-	st := o.flows[p.Flow]
+	st := o.flows.Get(p.Flow)
 	if st == nil {
-		st = &orderFlow{}
-		o.flows[p.Flow] = st
-		if p.Info.First {
-			st.hasExpected = true
-			st.expected = v
-		}
-		// A flow whose first-seen packet is not flagged First started with
-		// reordering; we buffer until the First packet or a timeout reveals
-		// where to start.
+		st = o.newFlow(p, v)
 	}
 
 	switch {
@@ -135,11 +161,11 @@ func (o *Orderer) Receive(p *packet.Packet) {
 		// the transport deduplicates (paper §3.3.2 case 3).
 		o.deliver(p)
 	case st.hasExpected && v == st.expected:
-		o.deliverRun(p.Flow, st, p, v)
+		o.deliverRun(st, p, v)
 	case !st.hasExpected && p.Info.First:
 		st.hasExpected = true
 		st.expected = v
-		o.deliverRun(p.Flow, st, p, v)
+		o.deliverRun(st, p, v)
 	case st.hasExpected && o.before(v, st.expected):
 		// Position already passed: a delayed retransmission or duplicate
 		// (paper case 3). Hand it straight up; the transport deduplicates.
@@ -149,95 +175,150 @@ func (o *Orderer) Receive(p *packet.Packet) {
 	}
 }
 
+// buffered returns the number of held packets.
+func (st *orderFlow) buffered() int { return len(st.buf) - st.head }
+
+// clearBuf empties the reorder buffer, dropping packet references but
+// keeping modestly sized backing arrays for the slot's next flow.
+func (st *orderFlow) clearBuf() {
+	for i := st.head; i < len(st.buf); i++ {
+		st.buf[i] = ooEntry{}
+	}
+	if cap(st.buf) > 1024 {
+		st.buf = nil // don't pin burst-grown arrays forever
+	} else {
+		st.buf = st.buf[:0]
+	}
+	st.head = 0
+}
+
 // deliverRun delivers p, then drains every buffered packet that has become
 // consecutive. It finishes or re-arms the flow's timer as appropriate.
-func (o *Orderer) deliverRun(flow uint64, st *orderFlow, p *packet.Packet, v uint32) {
+func (o *Orderer) deliverRun(st *orderFlow, p *packet.Packet, v uint32) {
 	o.deliver(p)
 	st.expected = o.next(v, p)
 	finished := o.done(st.expected, p)
-	for len(st.buf) > 0 && st.buf[0].v == st.expected {
-		e := st.buf[0]
-		st.buf = st.buf[1:]
+	for st.head < len(st.buf) && st.buf[st.head].v == st.expected {
+		e := st.buf[st.head]
+		st.buf[st.head] = ooEntry{}
+		st.head++
 		o.deliver(e.p)
 		st.expected = o.next(e.v, e.p)
 		finished = o.done(st.expected, e.p)
 	}
-	if finished && len(st.buf) == 0 {
-		o.finish(flow, st)
+	if st.head == len(st.buf) {
+		st.buf = st.buf[:0]
+		st.head = 0
+	}
+	if finished && st.buffered() == 0 {
+		o.finish(st)
 		return
 	}
-	o.rearm(flow, st)
+	o.rearm(st)
 }
 
 // finish marks a flow fully delivered. The state lingers as a tombstone for
 // one τ so that straggling duplicates (e.g. a retransmission that crossed
 // paths with the original) pass straight through instead of being buffered,
 // then is reclaimed.
-func (o *Orderer) finish(flow uint64, st *orderFlow) {
+func (o *Orderer) finish(st *orderFlow) {
 	st.timer.Cancel()
 	st.timer = sim.Timer{}
 	st.finished = true
-	st.buf = nil
-	o.eng.After(o.cfg.Timeout, func() {
-		if cur := o.flows[flow]; cur == st {
-			delete(o.flows, flow)
-		}
-	})
+	st.finishedAt = o.eng.Now()
+	st.clearBuf()
+	o.eng.After(o.cfg.Timeout, st.reclaimFn)
+}
+
+// reclaimRef removes a tombstone a full τ after it finished. The age check
+// stands in for the previous pointer-identity test: while the tombstone
+// exists, Receive never recreates state for the flow, so a younger
+// finishedAt on this slot always means a *newer* finish event is due.
+func (o *Orderer) reclaimRef(slot int32) {
+	flow, st, ok := o.flows.AtRef(slot)
+	if !ok || !st.finished {
+		return
+	}
+	if o.eng.Now() >= st.finishedAt+o.cfg.Timeout {
+		o.flows.Delete(flow)
+	}
 }
 
 // bufferEarly inserts an early packet into the flow-ordered buffer,
 // discarding duplicates, and arms the timer.
 func (o *Orderer) bufferEarly(st *orderFlow, p *packet.Packet, v uint32) {
-	i := sort.Search(len(st.buf), func(i int) bool { return !o.before(st.buf[i].v, v) })
-	if i < len(st.buf) && st.buf[i].v == v {
+	// Inlined sort.Search over the live window [head, len): first index
+	// whose position does not precede v.
+	lo, hi := st.head, len(st.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o.before(st.buf[mid].v, v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.buf) && st.buf[lo].v == v {
 		return // duplicate of an already-buffered packet
 	}
-	st.buf = append(st.buf, ooEntry{})
-	copy(st.buf[i+1:], st.buf[i:])
-	st.buf[i] = ooEntry{p: p, v: v, arrived: o.eng.Now()}
+	e := ooEntry{p: p, v: v, arrived: o.eng.Now()}
+	if lo == st.head && st.head > 0 {
+		// New head-of-buffer: reuse the slack in front.
+		st.head--
+		st.buf[st.head] = e
+	} else {
+		st.buf = append(st.buf, ooEntry{})
+		copy(st.buf[lo+1:], st.buf[lo:])
+		st.buf[lo] = e
+	}
 	o.Held++
 	if o.met != nil {
 		o.met.OrderingHeld++
 	}
 	if !st.timer.Pending() {
-		o.armAt(flowOf(p), st, st.buf[0].arrived+o.cfg.Timeout)
+		o.armAt(st, st.buf[st.head].arrived+o.cfg.Timeout)
 	}
 }
-
-func flowOf(p *packet.Packet) uint64 { return p.Flow }
 
 // debugTimeout, when set by tests, observes every ordering timeout.
 var debugTimeout func(flow uint64, hasExp bool, expected, headV uint32, buflen int, now units.Time)
 
 // rearm resets the timer to the head-of-buffer arrival plus τ (paper §3.3.2
 // event 2), or disarms it when nothing is buffered.
-func (o *Orderer) rearm(flow uint64, st *orderFlow) {
+func (o *Orderer) rearm(st *orderFlow) {
 	st.timer.Cancel()
 	st.timer = sim.Timer{}
-	if len(st.buf) > 0 {
-		o.armAt(flow, st, st.buf[0].arrived+o.cfg.Timeout)
+	if st.buffered() > 0 {
+		o.armAt(st, st.buf[st.head].arrived+o.cfg.Timeout)
 	}
 }
 
-func (o *Orderer) armAt(flow uint64, st *orderFlow, at units.Time) {
+func (o *Orderer) armAt(st *orderFlow, at units.Time) {
 	if at < o.eng.Now() {
 		at = o.eng.Now()
 	}
-	st.timer = o.eng.At(at, func() { o.timeout(flow) })
+	st.timer = o.eng.At(at, st.timeoutFn)
+}
+
+// timeoutRef resolves a slab slot back to its flow. A fired timer's state
+// always still exists: every path that deletes ordering state cancels or
+// has observed the timer first.
+func (o *Orderer) timeoutRef(slot int32) {
+	flow, st, ok := o.flows.AtRef(slot)
+	if !ok {
+		return
+	}
+	o.timeout(flow, st)
 }
 
 // timeout releases buffered packets up to the next gap (paper §3.3.2 event
 // 4): the transport now sees the gap and can run its own loss recovery.
-func (o *Orderer) timeout(flow uint64) {
-	st := o.flows[flow]
-	if st == nil {
-		return
-	}
+func (o *Orderer) timeout(flow uint64, st *orderFlow) {
 	st.timer = sim.Timer{}
-	if len(st.buf) == 0 {
+	if st.buffered() == 0 {
 		// Nothing held (state was idle): drop stale flow state.
 		if !st.hasExpected {
-			delete(o.flows, flow)
+			o.flows.Delete(flow)
 		}
 		return
 	}
@@ -246,13 +327,18 @@ func (o *Orderer) timeout(flow uint64) {
 		o.met.OrderTimeout++
 	}
 	if debugTimeout != nil {
-		debugTimeout(flow, st.hasExpected, st.expected, st.buf[0].v, len(st.buf), o.eng.Now())
+		debugTimeout(flow, st.hasExpected, st.expected, st.buf[st.head].v, st.buffered(), o.eng.Now())
 	}
 	// Skip the gap: the next packet in flow order becomes the new expected.
-	e := st.buf[0]
-	st.buf = st.buf[1:]
+	e := st.buf[st.head]
+	st.buf[st.head] = ooEntry{}
+	st.head++
+	if st.head == len(st.buf) {
+		st.buf = st.buf[:0]
+		st.head = 0
+	}
 	st.hasExpected = true
 	st.expected = e.v
 	o.Releases++
-	o.deliverRun(flow, st, e.p, e.v)
+	o.deliverRun(st, e.p, e.v)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vertigo/internal/cuckoo"
+	"vertigo/internal/flowtab"
 	"vertigo/internal/packet"
 )
 
@@ -13,7 +14,9 @@ import (
 // ordering components: they operate on real byte frames and caller-supplied
 // timestamps (sans-IO), so they can sit in a userspace network stack the way
 // the paper's DPDK prototype does (§4.4). The simulator twins (Marker,
-// Orderer) share the same algorithms over simulated packets.
+// Orderer) share the same algorithms over simulated packets — and the same
+// flowtab flow tables, which is where the DPDK prototype spends its
+// engineering effort too (§4.4: flow-table lookups dominate per-packet cost).
 
 // Wire errors.
 var (
@@ -28,15 +31,17 @@ var (
 // Not safe for concurrent use: wrap it per TX queue, as a DPDK app would.
 type WireMarker struct {
 	cfg    MarkerConfig
-	flows  map[uint64]*wireFlow
+	flows  *flowtab.Table[wireFlow]
 	filter *cuckoo.Filter
 	nextID uint8
 }
 
 type wireFlow struct {
-	size   int64
+	size int64
+	hi   int64 // highest first-transmitted offset; -1 before any
+	retx flowtab.PagedU8
+	// flowID is the 3-bit epoch stamped into flowinfo headers.
 	flowID uint8
-	retx   map[int64]uint8
 }
 
 // NewWireMarker returns a marking component for wire frames.
@@ -47,7 +52,7 @@ func NewWireMarker(cfg MarkerConfig) *WireMarker {
 	}
 	return &WireMarker{
 		cfg:    cfg,
-		flows:  make(map[uint64]*wireFlow),
+		flows:  flowtab.New[wireFlow](64),
 		filter: cuckoo.New(capHint),
 	}
 }
@@ -56,34 +61,44 @@ func NewWireMarker(cfg MarkerConfig) *WireMarker {
 func (m *WireMarker) StartFlow(key uint64, totalBytes int64) {
 	id := m.nextID
 	m.nextID = (m.nextID + 1) % (1 << packet.FlowIDBits)
-	m.flows[key] = &wireFlow{size: totalBytes, flowID: id}
+	f, _ := m.flows.PutReuse(key)
+	f.size = totalBytes
+	f.hi = -1
+	f.flowID = id
+	f.retx.Reset()
 }
 
-// EndFlow drops the flow table entry and its filter signatures.
+// EndFlow drops the flow table entry and its filter signatures. The filter
+// walk covers only segments actually marked — bounded by the per-flow
+// high-water offset, not the flow's nominal size — so tearing down a huge
+// flow that barely transmitted is cheap, and signatures of never-marked
+// segments are not speculatively deleted (a speculative Delete can evict a
+// colliding fingerprint some other flow still needs).
 func (m *WireMarker) EndFlow(key uint64) {
-	f, ok := m.flows[key]
-	if !ok {
+	f := m.flows.Get(key)
+	if f == nil {
 		return
 	}
-	for seq := int64(0); seq < f.size; seq += packet.MSS {
+	for seq := int64(0); seq <= f.hi; seq += packet.MSS {
 		m.filter.Delete(sig(key, seq))
 	}
-	if f.size == 0 {
+	if f.size == 0 && f.hi < 0 {
 		m.filter.Delete(sig(key, 0))
 	}
-	delete(m.flows, key)
+	f.retx.Reset()
+	m.flows.Delete(key)
 }
 
 // ActiveFlows returns the number of tracked flows.
-func (m *WireMarker) ActiveFlows() int { return len(m.flows) }
+func (m *WireMarker) ActiveFlows() int { return m.flows.Len() }
 
 // Mark computes the flowinfo for the segment [offset, offset+n) of the flow
 // under key, applying retransmission boosting, and writes the shim-header
 // encoding into hdr (which needs packet.ShimHeaderLen bytes).
 // innerEtherType is the encapsulated protocol (0x0800 for IPv4).
 func (m *WireMarker) Mark(key uint64, offset int64, n int, hdr []byte, innerEtherType uint16) (packet.FlowInfo, error) {
-	f, ok := m.flows[key]
-	if !ok {
+	f := m.flows.Get(key)
+	if f == nil {
 		return packet.FlowInfo{}, fmt.Errorf("%w: %d", ErrUnknownFlow, key)
 	}
 	if offset < 0 || n <= 0 || offset+int64(n) > f.size {
@@ -103,18 +118,16 @@ func (m *WireMarker) Mark(key uint64, offset int64, n int, hdr []byte, innerEthe
 
 	key2 := sig(key, offset)
 	retcnt := uint8(0)
-	if m.filter.Contains(key2) {
-		if f.retx == nil {
-			f.retx = make(map[int64]uint8)
-		}
-		c := f.retx[offset]
+	if m.filter.ContainsOrAdd(key2) {
+		seg := offset / packet.MSS
+		c := f.retx.Get(seg)
 		if m.cfg.Boosting && c < packet.MaxRetx {
 			c++
-			f.retx[offset] = c
+			f.retx.Set(seg, c)
 		}
 		retcnt = c
-	} else {
-		m.filter.Insert(key2)
+	} else if offset > f.hi {
+		f.hi = offset
 	}
 
 	rfs := base
@@ -149,7 +162,7 @@ type WireSegment struct {
 //	// on timer: deliver(o.Expire(time.Now())...)
 type WireOrderer struct {
 	cfg   OrdererConfig
-	flows map[uint64]*wireOrderFlow
+	flows *flowtab.Table[wireOrderFlow]
 
 	// Telemetry.
 	Held     int64
@@ -158,9 +171,10 @@ type WireOrderer struct {
 
 type wireOrderFlow struct {
 	hasExpected bool
-	expected    uint32
 	finished    bool
+	expected    uint32
 	finishedAt  time.Time
+	head        int
 	buf         []wireOOOEntry
 	deadline    time.Time // zero when no timer armed
 }
@@ -176,11 +190,11 @@ func NewWireOrderer(cfg OrdererConfig) *WireOrderer {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultOrdererConfig().Timeout
 	}
-	return &WireOrderer{cfg: cfg, flows: make(map[uint64]*wireOrderFlow)}
+	return &WireOrderer{cfg: cfg, flows: flowtab.New[wireOrderFlow](64)}
 }
 
 // ActiveFlows returns the number of flows with ordering state.
-func (o *WireOrderer) ActiveFlows() int { return len(o.flows) }
+func (o *WireOrderer) ActiveFlows() int { return o.flows.Len() }
 
 func (o *WireOrderer) position(seg WireSegment) uint32 {
 	return packet.UnboostRFS(seg.Info.RFS, seg.Info.RetCnt, o.cfg.BoostFactorLog2)
@@ -207,14 +221,22 @@ func (o *WireOrderer) done(nextExpected uint32, seg WireSegment) bool {
 	return seg.Last
 }
 
+func (st *wireOrderFlow) buffered() int { return len(st.buf) - st.head }
+
 // Receive processes one arriving segment and returns the segments that are
 // now deliverable in flow order.
 func (o *WireOrderer) Receive(now time.Time, seg WireSegment) []WireSegment {
 	v := o.position(seg)
-	st := o.flows[seg.Key]
+	st := o.flows.Get(seg.Key)
 	if st == nil {
-		st = &wireOrderFlow{}
-		o.flows[seg.Key] = st
+		st, _ = o.flows.PutReuse(seg.Key)
+		st.hasExpected = false
+		st.finished = false
+		st.expected = 0
+		st.finishedAt = time.Time{}
+		st.head = 0
+		st.buf = st.buf[:0]
+		st.deadline = time.Time{}
 		if seg.Info.First {
 			st.hasExpected = true
 			st.expected = v
@@ -224,11 +246,11 @@ func (o *WireOrderer) Receive(now time.Time, seg WireSegment) []WireSegment {
 	case st.finished:
 		return []WireSegment{seg} // straggler duplicate: pass through
 	case st.hasExpected && v == st.expected:
-		return o.deliverRun(now, seg.Key, st, seg, v)
+		return o.deliverRun(now, st, seg, v)
 	case !st.hasExpected && seg.Info.First:
 		st.hasExpected = true
 		st.expected = v
-		return o.deliverRun(now, seg.Key, st, seg, v)
+		return o.deliverRun(now, st, seg, v)
 	case st.hasExpected && o.before(v, st.expected):
 		return []WireSegment{seg} // late retransmission or duplicate
 	default:
@@ -237,24 +259,29 @@ func (o *WireOrderer) Receive(now time.Time, seg WireSegment) []WireSegment {
 	}
 }
 
-func (o *WireOrderer) deliverRun(now time.Time, key uint64, st *wireOrderFlow, seg WireSegment, v uint32) []WireSegment {
+func (o *WireOrderer) deliverRun(now time.Time, st *wireOrderFlow, seg WireSegment, v uint32) []WireSegment {
 	out := []WireSegment{seg}
 	st.expected = o.next(v, seg)
 	finished := o.done(st.expected, seg)
-	for len(st.buf) > 0 && st.buf[0].v == st.expected {
-		e := st.buf[0]
-		st.buf = st.buf[1:]
+	for st.head < len(st.buf) && st.buf[st.head].v == st.expected {
+		e := st.buf[st.head]
+		st.buf[st.head] = wireOOOEntry{}
+		st.head++
 		out = append(out, e.seg)
 		st.expected = o.next(e.v, e.seg)
 		finished = o.done(st.expected, e.seg)
 	}
+	if st.head == len(st.buf) {
+		st.buf = st.buf[:0]
+		st.head = 0
+	}
 	switch {
-	case finished && len(st.buf) == 0:
+	case finished && st.buffered() == 0:
 		st.finished = true
 		st.finishedAt = now
 		st.deadline = now.Add(o.cfg.Timeout.Duration()) // tombstone linger
-	case len(st.buf) > 0:
-		st.deadline = st.buf[0].arrived.Add(o.cfg.Timeout.Duration())
+	case st.buffered() > 0:
+		st.deadline = st.buf[st.head].arrived.Add(o.cfg.Timeout.Duration())
 	default:
 		st.deadline = time.Time{}
 	}
@@ -262,7 +289,7 @@ func (o *WireOrderer) deliverRun(now time.Time, key uint64, st *wireOrderFlow, s
 }
 
 func (o *WireOrderer) bufferEarly(now time.Time, st *wireOrderFlow, seg WireSegment, v uint32) {
-	i := 0
+	i := st.head
 	for i < len(st.buf) && o.before(st.buf[i].v, v) {
 		i++
 	}
@@ -274,42 +301,54 @@ func (o *WireOrderer) bufferEarly(now time.Time, st *wireOrderFlow, seg WireSegm
 	st.buf[i] = wireOOOEntry{seg: seg, v: v, arrived: now}
 	o.Held++
 	if st.deadline.IsZero() {
-		st.deadline = st.buf[0].arrived.Add(o.cfg.Timeout.Duration())
+		st.deadline = st.buf[st.head].arrived.Add(o.cfg.Timeout.Duration())
 	}
 }
 
 // NextDeadline returns the earliest pending ordering deadline, if any.
 func (o *WireOrderer) NextDeadline() (time.Time, bool) {
 	var dl time.Time
-	for _, st := range o.flows {
-		if st.deadline.IsZero() {
-			continue
-		}
-		if dl.IsZero() || st.deadline.Before(dl) {
+	o.flows.Range(func(_ uint64, st *wireOrderFlow) bool {
+		if !st.deadline.IsZero() && (dl.IsZero() || st.deadline.Before(dl)) {
 			dl = st.deadline
 		}
-	}
+		return true
+	})
 	return dl, !dl.IsZero()
 }
 
 // Expire releases everything whose deadline has passed: for each timed-out
 // flow, buffered segments up to the next gap (the transport sees the gap and
-// runs its own recovery). Expired tombstones are reclaimed.
+// runs its own recovery). Expired tombstones are reclaimed. Flows are
+// visited in flow-table slab order, so the released sequence is
+// deterministic for a given operation history (the old map-backed table
+// released timed-out flows in random order).
 func (o *WireOrderer) Expire(now time.Time) []WireSegment {
 	var out []WireSegment
-	for key, st := range o.flows {
+	o.flows.Range(func(key uint64, st *wireOrderFlow) bool {
 		for !st.deadline.IsZero() && !now.Before(st.deadline) {
-			if st.finished || len(st.buf) == 0 {
-				delete(o.flows, key)
+			if st.finished || st.buffered() == 0 {
+				for i := st.head; i < len(st.buf); i++ {
+					st.buf[i] = wireOOOEntry{}
+				}
+				st.buf = st.buf[:0]
+				st.head = 0
+				o.flows.Delete(key)
 				break
 			}
 			o.Timeouts++
-			e := st.buf[0]
-			st.buf = st.buf[1:]
+			e := st.buf[st.head]
+			st.buf[st.head] = wireOOOEntry{}
+			st.head++
+			if st.head == len(st.buf) {
+				st.buf = st.buf[:0]
+				st.head = 0
+			}
 			st.hasExpected = true
 			st.expected = e.v
-			out = append(out, o.deliverRun(now, key, st, e.seg, e.v)...)
+			out = append(out, o.deliverRun(now, st, e.seg, e.v)...)
 		}
-	}
+		return true
+	})
 	return out
 }

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -240,5 +241,33 @@ func TestWireOrdererLASDiscipline(t *testing.T) {
 		if g.Info.RFS != uint32(i) {
 			t.Fatalf("LAS order broken at %d", i)
 		}
+	}
+}
+
+// BenchmarkWireMarkerEndFlow times a full start/mark/teardown cycle with the
+// flow's nominal size pinned at 1 GiB (~735k segments) while only `marked`
+// segments are ever transmitted. EndFlow's filter walk is bounded by the
+// per-flow high-water offset, so the cycle cost must scale with the marked
+// count: a size-bounded walk would pay ~735k filter deletes (milliseconds)
+// per op at every marked level, swamping the sub-microsecond marked=1 case.
+func BenchmarkWireMarkerEndFlow(b *testing.B) {
+	const flowSize = 1 << 30
+	for _, marked := range []int{1, 64, 4096} {
+		b.Run(fmt.Sprintf("marked=%d", marked), func(b *testing.B) {
+			m := NewWireMarker(DefaultMarkerConfig())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.StartFlow(7, flowSize)
+				for s := 0; s < marked; s++ {
+					if _, err := m.Mark(7, int64(s)*packet.MSS, packet.MSS, nil, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				m.EndFlow(7)
+			}
+			if m.ActiveFlows() != 0 {
+				b.Fatalf("flow leaked: %d active", m.ActiveFlows())
+			}
+		})
 	}
 }

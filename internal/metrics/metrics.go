@@ -6,6 +6,7 @@ package metrics
 import (
 	"sort"
 
+	"vertigo/internal/flowtab"
 	"vertigo/internal/units"
 )
 
@@ -94,7 +95,10 @@ func (q *QueryRecord) QCT() units.Time { return q.End - q.Start }
 type Collector struct {
 	Flows   []FlowRecord
 	Queries []QueryRecord
-	flowIdx map[uint64]int
+	// flowIdx maps flow ID -> index into Flows. Flow IDs come from the
+	// shared packet.IDGen, so they are sparse (interleaved with packet
+	// IDs), ruling out a dense slice; the flowtab keeps the lookup cheap.
+	flowIdx *flowtab.Table[int32]
 
 	Drops        [numDropReasons]int64
 	DropsByClass [2]int64
@@ -121,22 +125,23 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{flowIdx: make(map[uint64]int)}
+	return &Collector{flowIdx: flowtab.New[int32](256)}
 }
 
 // StartFlow registers a new flow and returns its record index.
 func (c *Collector) StartFlow(rec FlowRecord) {
-	c.flowIdx[rec.ID] = len(c.Flows)
+	v, _ := c.flowIdx.Put(rec.ID)
+	*v = int32(len(c.Flows))
 	c.Flows = append(c.Flows, rec)
 }
 
 // EndFlow marks a flow complete at time t.
 func (c *Collector) EndFlow(id uint64, t units.Time) {
-	i, ok := c.flowIdx[id]
-	if !ok {
+	ip := c.flowIdx.Get(id)
+	if ip == nil {
 		return
 	}
-	f := &c.Flows[i]
+	f := &c.Flows[*ip]
 	if f.Completed {
 		return
 	}
@@ -153,9 +158,14 @@ func (c *Collector) EndFlow(id uint64, t units.Time) {
 }
 
 // Flow returns the record for a flow ID, or nil.
+//
+// Aliasing rule: the pointer aims into the Flows slice, whose backing
+// array moves when StartFlow appends. A *FlowRecord is therefore valid
+// only until the next StartFlow — read or update it immediately; never
+// hold it across anything that can register a flow.
 func (c *Collector) Flow(id uint64) *FlowRecord {
-	if i, ok := c.flowIdx[id]; ok {
-		return &c.Flows[i]
+	if ip := c.flowIdx.Get(id); ip != nil {
+		return &c.Flows[*ip]
 	}
 	return nil
 }

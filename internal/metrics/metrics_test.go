@@ -214,3 +214,46 @@ func TestGoodputNoOverflow(t *testing.T) {
 		t.Fatalf("goodput %v, want ~214Gbps", s.OverallGoodput)
 	}
 }
+
+// TestFlowAliasingAcrossGrowth interleaves StartFlow with reads and writes
+// through Flow pointers, forcing the Flows backing array to reallocate many
+// times. It pins the documented aliasing rule: a *FlowRecord is valid until
+// the next StartFlow, so a mutation applied before the append must survive
+// the reallocation, and a fresh Flow lookup must always see current state.
+func TestFlowAliasingAcrossGrowth(t *testing.T) {
+	c := NewCollector()
+	const n = 1000
+	for i := uint64(1); i <= n; i++ {
+		// Mutate an existing record through a fresh pointer, then append.
+		// (Flow IDs are sparse in real runs; stride by 3 to mimic that.)
+		if i > 1 {
+			prev := c.Flow(3 * (i - 1))
+			if prev == nil {
+				t.Fatalf("flow %d vanished", 3*(i-1))
+			}
+			prev.End = units.Time(10 * i)
+			prev.Completed = true
+		}
+		c.StartFlow(FlowRecord{ID: 3 * i, Size: int64(i), Start: units.Time(i), Query: -1})
+	}
+	// Every record must be intact by value: the writes through now-stale
+	// pointers happened before the appends that moved the array.
+	for i := uint64(1); i <= n; i++ {
+		f := c.Flow(3 * i)
+		if f == nil {
+			t.Fatalf("flow %d missing after growth", 3*i)
+		}
+		got := *f
+		want := FlowRecord{ID: 3 * i, Size: int64(i), Start: units.Time(i), Query: -1}
+		if i < n {
+			want.End = units.Time(10 * (i + 1))
+			want.Completed = true
+		}
+		if got != want {
+			t.Fatalf("flow %d: got %+v, want %+v", 3*i, got, want)
+		}
+	}
+	if len(c.Flows) != n {
+		t.Fatalf("len(Flows) = %d, want %d", len(c.Flows), n)
+	}
+}

@@ -107,11 +107,26 @@ type Packet struct {
 	RxAt        units.Time // NIC arrival time at the destination host
 	Hops        int        // switch hops traversed
 	Deflections int        // times deflected
+
+	// wire memoizes Size(): every hop consults the size several times
+	// (admission, occupancy, serialization delay) and the inputs are
+	// frozen once the packet enters the fabric. 0 means "not computed";
+	// no real frame is 0 bytes. The composite-literal reinitialization
+	// rule (see Pool.Get) clears it on recycle; Marker.Mark clears it
+	// when adding the shim header changes the answer.
+	wire int32
 }
+
+// InvalidateSize clears the memoized wire size after a mutation that
+// changes it (marking a packet adds the shim header).
+func (p *Packet) InvalidateSize() { p.wire = 0 }
 
 // Size returns the total wire size of the packet in bytes, including the
 // flowinfo overhead when the packet is marked (shim layer-3 encoding).
 func (p *Packet) Size() units.ByteSize {
+	if p.wire != 0 {
+		return units.ByteSize(p.wire)
+	}
 	var n int
 	if p.Kind == Ack {
 		n = AckLen
@@ -121,6 +136,7 @@ func (p *Packet) Size() units.ByteSize {
 	if p.Marked {
 		n += ShimHeaderLen
 	}
+	p.wire = int32(n)
 	return units.ByteSize(n)
 }
 

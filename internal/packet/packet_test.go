@@ -43,7 +43,10 @@ func TestPacketSize(t *testing.T) {
 	if got := data.Size(); got != MSS+HeaderLen {
 		t.Fatalf("data size %v, want %d", got, MSS+HeaderLen)
 	}
+	// Size is memoized; mutating the marking requires an explicit
+	// invalidation (Marker.Mark does this on the real path).
 	data.Marked = true
+	data.InvalidateSize()
 	if got := data.Size(); got != MSS+HeaderLen+ShimHeaderLen {
 		t.Fatalf("marked data size %v, want %d", got, MSS+HeaderLen+ShimHeaderLen)
 	}

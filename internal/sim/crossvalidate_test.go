@@ -125,13 +125,13 @@ func runScript(t *testing.T, seed int64, ops int) {
 		engTimers = append(engTimers, eng.After(d, func() {
 			engFired = append(engFired, myID)
 			if nest {
-				eng.After(d/2, func() { engFired = append(engFired, -myID - 1) })
+				eng.After(d/2, func() { engFired = append(engFired, -myID-1) })
 			}
 		}))
 		refTimers = append(refTimers, ref.After(d, func() {
 			refFired = append(refFired, myID)
 			if nest {
-				ref.After(d/2, func() { refFired = append(refFired, -myID - 1) })
+				ref.After(d/2, func() { refFired = append(refFired, -myID-1) })
 			}
 		}))
 	}
