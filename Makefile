@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-core bench-obs bench-run bench-merge exp-small exp-medium examples clean
+.PHONY: all build test test-short race vet bench bench-core bench-obs bench-run bench-gate bench-merge exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -56,6 +56,14 @@ bench-run:
 	   $(GO) test -run '^$$' -bench 'BenchmarkDatapath' -benchmem -benchtime 200000x . ; } \
 	  | $(GO) run ./cmd/benchjson -prev BENCH_run.json -out BENCH_run.json
 	@echo "BENCH_run.json:" && cat BENCH_run.json
+
+# Apply the CI perf gates to the committed benchmark blobs: the core
+# cancel-churn delta must hold its >=20% win, whole-run pkts/s may not
+# regress more than 10% against the sticky baseline, and the per-packet
+# datapath benches must stay alloc-free. Same invocations CI runs.
+bench-gate:
+	$(GO) run ./cmd/benchgate -min-improve 20 -zero-alloc BenchmarkEngine BENCH_core.json
+	$(GO) run ./cmd/benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
 
 # Fold the per-suite blobs into BENCH.json, keyed by git revision, so the
 # perf trajectory across PRs lives in one file.

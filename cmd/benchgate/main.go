@@ -1,0 +1,151 @@
+// Command benchgate is the CI performance gate over the BENCH_*.json
+// reports that benchjson emits. It prints a benchstat-style old-vs-new
+// table for the headline comparison in the report and exits non-zero
+// when a bound is violated, replacing ad-hoc jq threshold checks:
+//
+//	benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
+//	benchgate -min-improve 20 -zero-alloc BenchmarkEngine BENCH_core.json
+//
+// -max-regress bounds how far the headline metric (pkts/s for the run
+// report, events/s for the core report) may fall below its recorded
+// baseline; -min-improve demands it stay at least that far above.
+// -zero-alloc requires every benchmark whose name starts with the given
+// prefix to report exactly 0 allocs/op; it may be repeated.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// report mirrors the subset of the benchjson schema the gate reads.
+// Unknown fields are ignored so the two tools can evolve independently.
+type report struct {
+	Benchmarks    []benchmark    `json:"benchmarks"`
+	CancelChurn   *comparison    `json:"cancel_churn"`
+	RunThroughput *runThroughput `json:"run_throughput"`
+}
+
+type benchmark struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+type comparison struct {
+	EngineNsPerOp   float64 `json:"engine_ns_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	ImprovementPct  float64 `json:"improvement_pct"`
+}
+
+type runThroughput struct {
+	BaselinePktsPerSec float64 `json:"baseline_pkts_per_sec"`
+	PktsPerSec         float64 `json:"pkts_per_sec"`
+	ImprovementPct     float64 `json:"improvement_pct"`
+}
+
+// prefixList collects repeated -zero-alloc flags.
+type prefixList []string
+
+func (p *prefixList) String() string     { return strings.Join(*p, ",") }
+func (p *prefixList) Set(s string) error { *p = append(*p, s); return nil }
+
+func main() {
+	maxRegress := flag.Float64("max-regress", -1,
+		"fail if the headline metric regresses more than this percent below baseline")
+	minImprove := flag.Float64("min-improve", -1,
+		"fail if the headline metric improves less than this percent over baseline")
+	var zeroAlloc prefixList
+	flag.Var(&zeroAlloc, "zero-alloc",
+		"require 0 allocs/op for benchmarks with this name prefix (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] BENCH_<suite>.json")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", flag.Arg(0), err))
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	// Headline comparison: whichever of the two benchjson headline blocks
+	// the report carries. The benchstat-style table shows old (baseline),
+	// new, and delta so the CI log reads like a perf diff, not a boolean.
+	headline := ""
+	var oldV, newV, deltaPct float64
+	switch {
+	case rep.RunThroughput != nil:
+		headline = "pkts/s"
+		oldV = rep.RunThroughput.BaselinePktsPerSec
+		newV = rep.RunThroughput.PktsPerSec
+		deltaPct = rep.RunThroughput.ImprovementPct
+	case rep.CancelChurn != nil:
+		headline = "ns/op (cancel churn)"
+		oldV = rep.CancelChurn.BaselineNsPerOp
+		newV = rep.CancelChurn.EngineNsPerOp
+		deltaPct = rep.CancelChurn.ImprovementPct
+	}
+	if headline != "" {
+		fmt.Printf("%-24s %14s %14s %9s\n", "metric", "old", "new", "delta")
+		fmt.Printf("%-24s %14.1f %14.1f %+8.2f%%\n", headline, oldV, newV, deltaPct)
+		if *maxRegress >= 0 && deltaPct < -*maxRegress {
+			fail("%s regressed %.2f%% against baseline (limit %.0f%%)",
+				headline, -deltaPct, *maxRegress)
+		}
+		if *minImprove >= 0 && deltaPct < *minImprove {
+			fail("%s improved only %.2f%% over baseline (need >= %.0f%%)",
+				headline, deltaPct, *minImprove)
+		}
+	} else if *maxRegress >= 0 || *minImprove >= 0 {
+		fail("report carries no headline comparison to gate on")
+	}
+
+	// Alloc gates: every matching benchmark must exist and be alloc-free.
+	for _, prefix := range zeroAlloc {
+		matched := 0
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, prefix) {
+				continue
+			}
+			matched++
+			switch {
+			case b.AllocsPerOp == nil:
+				fail("%s: no allocs/op recorded (run with -benchmem)", b.Name)
+			case *b.AllocsPerOp != 0:
+				fail("%s: %.0f allocs/op on a zero-alloc path", b.Name, *b.AllocsPerOp)
+			default:
+				fmt.Printf("%-48s 0 allocs/op  ok\n", b.Name)
+			}
+		}
+		if matched == 0 {
+			fail("no benchmarks match -zero-alloc prefix %q", prefix)
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

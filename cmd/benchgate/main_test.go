@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain lets the test binary double as the benchgate binary: when
+// re-exec'd with BENCHGATE_CHILD set it runs main() instead of the tests,
+// so the exit-code contract is tested without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHGATE_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// gate re-execs the test binary as benchgate against a report written to a
+// temp file and returns the exit code.
+func gate(t *testing.T, report string, args ...string) int {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_run.json")
+	if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], append(args, path)...)
+	cmd.Env = append(os.Environ(), "BENCHGATE_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("re-exec failed: %v\n%s", err, out)
+	}
+	return ee.ExitCode()
+}
+
+const passingRun = `{
+  "benchmarks": [
+    {"name": "BenchmarkDatapathMarker", "ns_per_op": 10, "allocs_per_op": 0},
+    {"name": "BenchmarkDatapathOrderer", "ns_per_op": 12, "allocs_per_op": 0}
+  ],
+  "run_throughput": {
+    "baseline_pkts_per_sec": 100000,
+    "pkts_per_sec": 130000,
+    "improvement_pct": 30
+  }
+}`
+
+func TestGatePasses(t *testing.T) {
+	if code := gate(t, passingRun, "-max-regress", "10", "-zero-alloc", "BenchmarkDatapath"); code != 0 {
+		t.Errorf("healthy report rejected with exit %d", code)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	rep := `{
+	  "benchmarks": [],
+	  "run_throughput": {
+	    "baseline_pkts_per_sec": 100000, "pkts_per_sec": 80000, "improvement_pct": -20
+	  }
+	}`
+	if code := gate(t, rep, "-max-regress", "10"); code != 1 {
+		t.Errorf("20%% regression passed the 10%% gate (exit %d)", code)
+	}
+	// The same report clears a looser bound.
+	if code := gate(t, rep, "-max-regress", "25"); code != 0 {
+		t.Errorf("20%% regression failed the 25%% gate (exit %d)", code)
+	}
+}
+
+func TestGateFailsOnAllocs(t *testing.T) {
+	rep := `{
+	  "benchmarks": [
+	    {"name": "BenchmarkDatapathMarker", "ns_per_op": 10, "allocs_per_op": 2}
+	  ]
+	}`
+	if code := gate(t, rep, "-zero-alloc", "BenchmarkDatapath"); code != 1 {
+		t.Errorf("2 allocs/op passed the zero-alloc gate (exit %d)", code)
+	}
+}
+
+func TestGateFailsOnMissingBenchmarks(t *testing.T) {
+	// An empty match set must fail loudly: a renamed benchmark silently
+	// vacuously passing is exactly the bug class the gate exists to stop.
+	if code := gate(t, `{"benchmarks": []}`, "-zero-alloc", "BenchmarkDatapath"); code != 1 {
+		t.Errorf("empty match set passed the zero-alloc gate (exit %d)", code)
+	}
+}
+
+func TestGateMinImprove(t *testing.T) {
+	if code := gate(t, passingRun, "-min-improve", "20"); code != 0 {
+		t.Errorf("30%% improvement failed the 20%% floor (exit %d)", code)
+	}
+	if code := gate(t, passingRun, "-min-improve", "40"); code != 1 {
+		t.Errorf("30%% improvement passed the 40%% floor (exit %d)", code)
+	}
+}

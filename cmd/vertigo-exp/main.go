@@ -60,6 +60,7 @@ func realMain() error {
 			`fault schedule injected into every run, e.g. "flap@10ms:link=64,down=1ms,period=4ms,count=3" (see internal/faults)`)
 		healDelay  = flag.Duration("heal-delay", 0, "control-plane healing delay after each -fault topology change (0 = healing off)")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run; an over-budget run fails its row (0 = unlimited)")
+		trainLen   = flag.Int("train", -1, "dataplane packet-train length override: 0 = per-packet engine, >=2 = coalesce; -1 keeps the default (results are identical at any value)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -165,6 +166,7 @@ func realMain() error {
 	}
 	exp.HealDelay = units.FromDuration(*healDelay)
 	exp.RunTimeout = *runTimeout
+	exp.TrainLen = *trainLen
 	var rec *exp.Recorder
 	if *outDir != "" {
 		rec = exp.NewRecorder()

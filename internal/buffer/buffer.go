@@ -41,6 +41,11 @@ type Queue interface {
 	Cap() units.ByteSize
 	// Fits reports whether a packet of size n would currently fit.
 	Fits(n units.ByteSize) bool
+	// PeekAt returns the packet the i-th next Pop would return (0 = head)
+	// without removing it, or nil when i >= Len. Train planning walks the
+	// first few pop candidates through this to serialize them under one
+	// event while they stay queued.
+	PeekAt(i int) *packet.Packet
 }
 
 // DropTailQueue is a FIFO with byte-based admission: the queue used by the
@@ -96,6 +101,14 @@ func (q *DropTailQueue) Cap() units.ByteSize { return q.cap }
 
 // Fits reports whether n more bytes fit.
 func (q *DropTailQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap }
+
+// PeekAt returns the i-th next packet to pop without removing it.
+func (q *DropTailQueue) PeekAt(i int) *packet.Packet {
+	if i < 0 || q.head+i >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[q.head+i]
+}
 
 // SortedQueue keeps packets ordered by ascending rank (Vertigo's RFS), with
 // FIFO order among equal ranks. Pop returns the minimum-rank packet; the
@@ -254,3 +267,20 @@ func (q *SortedQueue) Cap() units.ByteSize { return q.cap }
 
 // Fits reports whether n more bytes fit.
 func (q *SortedQueue) Fits(n units.ByteSize) bool { return q.bytes+n <= q.cap }
+
+// PeekAt returns the i-th next packet to pop (ascending rank, FIFO among
+// equals) without removing it. Sorted order is pop order, so this is a
+// direct index off the head.
+func (q *SortedQueue) PeekAt(i int) *packet.Packet {
+	if i < 0 || q.head+i >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[q.head+i]
+}
+
+// MaxRankAt returns the rank of the i-th next packet to pop; it is the
+// planning-time upper bound train coalescing uses to decide whether a later
+// insertion can preempt a planned segment.
+func (q *SortedQueue) MaxRankAt(i int) uint32 {
+	return q.ranks[q.head+i]
+}

@@ -196,6 +196,12 @@ func (c *Config) Validate() error {
 	if c.HealDelay < 0 {
 		return fmt.Errorf("core: negative heal delay %v", c.HealDelay)
 	}
+	if c.Fabric.TrainLen < 0 {
+		return fmt.Errorf("core: negative packet-train length %d", c.Fabric.TrainLen)
+	}
+	if c.Fabric.TrainLen > 4096 {
+		return fmt.Errorf("core: packet-train length %d exceeds the 4096 cap", c.Fabric.TrainLen)
+	}
 	for i, lf := range c.LinkFailures {
 		if lf.Link < 0 {
 			return fmt.Errorf("core: link failure %d has negative link index %d", i, lf.Link)
@@ -221,6 +227,8 @@ type Result struct {
 	// work the run did and how well the event/packet free lists recycled.
 	Engine sim.EngineStats
 	Pool   packet.PoolStats
+	// Trains reports packet-train coalescing activity on the dataplane.
+	Trains fabric.TrainStats
 	// Telemetry is non-nil when Config.Telemetry was set.
 	Telemetry *telemetry.Monitor
 	// Sampler is non-nil when Config.SampleTick was positive.
@@ -371,6 +379,7 @@ func Run(cfg Config) (*Result, error) {
 		Events:    eng.Events(),
 		Engine:    eng.Stats(),
 		Pool:      net.Pool().Stats(),
+		Trains:    net.TrainStats(),
 		Telemetry: mon,
 		Sampler:   sampler,
 	}, nil

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
+	"vertigo/internal/telemetry"
 	"vertigo/internal/units"
 )
 
@@ -68,8 +70,16 @@ type results struct {
 type Recorder struct {
 	runs    []RunRecord
 	failed  []RunRecord
-	samples bytes.Buffer
-	trace   bytes.Buffer
+	samples []labeledBytes
+	trace   []labeledBytes
+}
+
+// labeledBytes is one run's slice of a shared artifact file. Runs complete
+// in worker order, so artifact sections are keyed by label and reassembled
+// sorted — samples.csv and trace.jsonl come out byte-identical at any -j.
+type labeledBytes struct {
+	label string
+	data  []byte
 }
 
 // NewRecorder returns an empty Recorder.
@@ -93,15 +103,54 @@ func (r *Recorder) Record(info RunInfo) {
 		Summary:      info.Summary.Compact(),
 	})
 	if info.Sampler != nil && len(info.Sampler.Samples()) > 0 {
-		header := r.samples.Len() == 0
-		// strings.Builder-backed CSV writes cannot fail; bytes.Buffer's
-		// Write never returns an error either.
-		_ = info.Sampler.WriteCSV(&r.samples, info.Label, header)
+		var b bytes.Buffer
+		// bytes.Buffer writes never fail, so the CSV render cannot either.
+		_ = info.Sampler.WriteCSV(&b, info.Label, false)
+		r.samples = append(r.samples, labeledBytes{info.Label, b.Bytes()})
 	}
 	if len(info.Trace) > 0 {
-		fmt.Fprintf(&r.trace, "{\"run_start\":%q}\n", info.Label)
-		r.trace.Write(info.Trace)
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "{\"run_start\":%q}\n", info.Label)
+		b.Write(info.Trace)
+		r.trace = append(r.trace, labeledBytes{info.Label, b.Bytes()})
 	}
+}
+
+// SamplesCSV assembles the samples.csv artifact: one header line, then every
+// run's series in label order. Empty when no run sampled.
+func (r *Recorder) SamplesCSV() []byte {
+	if len(r.samples) == 0 {
+		return nil
+	}
+	var b bytes.Buffer
+	cw := csv.NewWriter(&b)
+	_ = cw.Write(telemetry.SamplesCSVHeader())
+	cw.Flush()
+	for _, s := range sortedSections(r.samples) {
+		b.Write(s.data)
+	}
+	return b.Bytes()
+}
+
+// TraceJSONL assembles the trace.jsonl artifact: each run's packet trace
+// behind its run_start boundary line, in label order. Empty when no run
+// traced.
+func (r *Recorder) TraceJSONL() []byte {
+	if len(r.trace) == 0 {
+		return nil
+	}
+	var b bytes.Buffer
+	for _, s := range sortedSections(r.trace) {
+		b.Write(s.data)
+	}
+	return b.Bytes()
+}
+
+func sortedSections(in []labeledBytes) []labeledBytes {
+	out := make([]labeledBytes, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
 }
 
 // Runs returns the recorded runs sorted by label, so results.json is
@@ -179,13 +228,13 @@ func WriteArtifacts(dir string, m Manifest, tables []*Table, rec *Recorder) erro
 	}); err != nil {
 		return err
 	}
-	if rec.samples.Len() > 0 {
-		if err := os.WriteFile(filepath.Join(dir, "samples.csv"), rec.samples.Bytes(), 0o644); err != nil {
+	if s := rec.SamplesCSV(); len(s) > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "samples.csv"), s, 0o644); err != nil {
 			return err
 		}
 	}
-	if rec.trace.Len() > 0 {
-		if err := os.WriteFile(filepath.Join(dir, "trace.jsonl"), rec.trace.Bytes(), 0o644); err != nil {
+	if tr := rec.TraceJSONL(); len(tr) > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "trace.jsonl"), tr, 0o644); err != nil {
 			return err
 		}
 	}

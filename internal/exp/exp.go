@@ -189,6 +189,13 @@ var HealDelay units.Time
 // exceeds it fails its row instead of stalling the sweep (-run-timeout).
 var RunTimeout time.Duration
 
+// TrainLen, when non-negative, overrides the dataplane packet-train length
+// on every run (the -train CLI flag). 0 forces the per-packet engine; the
+// default -1 leaves each run's configured value alone. Because coalescing
+// is exact, every value must render byte-identical tables — pinned by the
+// train identity tests.
+var TrainLen = -1
+
 // RunInfo is the per-run instrumentation handed to OnRun. A failed run
 // (error or panic) delivers only Label and Err; everything else is zero.
 type RunInfo struct {
@@ -320,6 +327,9 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 	}
 	if RunTimeout > 0 && cfg.WallTimeout == 0 {
 		cfg.WallTimeout = RunTimeout
+	}
+	if TrainLen >= 0 {
+		cfg.Fabric.TrainLen = TrainLen
 	}
 	var traceBuf *bytes.Buffer
 	if TraceFlow > 0 && cfg.PacketTrace == nil {

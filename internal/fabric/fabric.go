@@ -15,6 +15,7 @@ import (
 	"vertigo/internal/telemetry"
 	"vertigo/internal/topo"
 	"vertigo/internal/units"
+	"vertigo/internal/xrand"
 )
 
 // Policy selects a forwarding scheme.
@@ -98,6 +99,18 @@ type Config struct {
 	Scheduling bool
 	// Deflection enables deflection on overflow (Fig. 11a ablation).
 	Deflection bool
+
+	// TrainLen caps how many back-to-back segments a port may serialize
+	// under a single transmit event (a packet train). Coalescing changes
+	// event granularity only — per-packet departure and arrival times, drop
+	// decisions and queue occupancy readings are bit-identical to the
+	// per-packet engine — so any value here alters performance, never
+	// results. Values below 2 disable coalescing; trains also stand down
+	// automatically whenever exactness cannot be proven: while a telemetry
+	// observer is attached (per-packet Transmit callbacks need exact
+	// now-stamps) and as soon as any fault is injected (carrier loss, BER,
+	// brownouts can interleave with a planned train).
+	TrainLen int
 }
 
 // DefaultConfig returns the paper's default fabric settings for a policy.
@@ -112,6 +125,7 @@ func DefaultConfig(p Policy) Config {
 		DeflChoices:  2,
 		Scheduling:   true,
 		Deflection:   true,
+		TrainLen:     64,
 	}
 	if p == Vertigo {
 		cfg.MaxDeflections = 8
@@ -165,6 +179,56 @@ type Network struct {
 	fib           [][][]int
 	swDown        []bool
 	linkDownSince []units.Time // -1 while a link is up
+
+	// faultsSeen latches true at the first fault injection (scheduled or
+	// immediate) and permanently stands packet trains down: a fault can
+	// retime or destroy a link mid-train, and proving exactness across every
+	// such interleaving is not worth the complexity for runs that are fault
+	// experiments anyway.
+	faultsSeen bool
+
+	// Train accounting (see TrainStats).
+	trainsPlanned uint64
+	trainSegs     uint64
+	trainInvals   uint64
+}
+
+// TrainStats reports packet-train coalescing activity: how many trains were
+// planned, how many segments rode them, and how many plans were invalidated
+// (a competing higher-priority enqueue or queue rewrite forced a replan).
+type TrainStats struct {
+	Trains      uint64 `json:"trains"`
+	Segments    uint64 `json:"segments"`
+	Invalidated uint64 `json:"invalidated"`
+}
+
+// TrainStats returns coalescing counters for instrumentation and tests.
+func (n *Network) TrainStats() TrainStats {
+	return TrainStats{Trains: n.trainsPlanned, Segments: n.trainSegs, Invalidated: n.trainInvals}
+}
+
+// trainsOK reports whether new packet trains may form right now. Checked at
+// plan time so mid-run observer attachment or fault injection takes effect
+// immediately.
+func (n *Network) trainsOK() bool {
+	return n.Cfg.TrainLen > 1 && n.obs == nil && !n.faultsSeen
+}
+
+// settleAll commits and abandons every port's pending train plan, restoring
+// plain per-packet state. Called before any transition that breaks the
+// conditions plans were built under (observer attachment, fault injection).
+func (n *Network) settleAll() {
+	now := n.Eng.Now()
+	for _, s := range n.switches {
+		for _, pt := range s.ports {
+			pt.sync(now)
+			pt.invalidate()
+		}
+	}
+	for _, pt := range n.hostNIC {
+		pt.sync(now)
+		pt.invalidate()
+	}
 }
 
 // Pool returns the network's packet free list. Transports allocate packets
@@ -180,7 +244,10 @@ func (n *Network) Pool() *packet.Pool {
 
 // SetObserver installs o as the only telemetry observer, detaching any
 // already attached (nil to disable). Use AddObserver to attach several.
-func (n *Network) SetObserver(o Observer) { n.obs = o }
+func (n *Network) SetObserver(o Observer) {
+	n.settleAll()
+	n.obs = o
+}
 
 // AddObserver attaches one more telemetry probe alongside any already
 // attached, fanning events out through a telemetry.Multi once more than one
@@ -188,6 +255,9 @@ func (n *Network) SetObserver(o Observer) { n.obs = o }
 // allocations — on every dataplane event; the mux allocates only here, at
 // attach time. Nil is a no-op.
 func (n *Network) AddObserver(o Observer) {
+	if o != nil {
+		n.settleAll()
+	}
 	switch {
 	case o == nil:
 	case n.obs == nil:
@@ -230,6 +300,9 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 	}
 	if cfg.DeflChoices <= 0 {
 		cfg.DeflChoices = 2
+	}
+	if cfg.TrainLen < 2 {
+		cfg.TrainLen = 0
 	}
 	n := &Network{
 		Eng:           eng,
@@ -286,7 +359,26 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 		}
 		n.hostNIC[h].initTx()
 	}
+	// Seed each port's private positional jitter stream from the engine seed
+	// and the port's identity. Per-port streams are what let train planning
+	// batch jitter draws without perturbing any other consumer of randomness:
+	// the k-th draw of a port is pinned by (seed, port, k) alone.
+	seed := xrand.Mix(uint64(eng.Seed()))
+	for _, s := range n.switches {
+		for _, pt := range s.ports {
+			pt.rng = xrand.New(seed ^ xrand.Mix(portIdent(pt.sw, pt.idx)))
+		}
+	}
+	for _, pt := range n.hostNIC {
+		pt.rng = xrand.New(seed ^ xrand.Mix(portIdent(pt.sw, pt.idx)))
+	}
 	return n
+}
+
+// portIdent packs a port's identity into a unique 64-bit stream selector.
+// Host NICs carry sw == -1, so switch IDs are offset by one.
+func portIdent(sw, idx int) uint64 {
+	return uint64(uint32(sw+1))<<32 | uint64(uint32(idx))
 }
 
 // RegisterHost installs the receive handler for host h.
@@ -295,6 +387,7 @@ func (n *Network) RegisterHost(h int, r Receiver) { n.hostRecv[h] = r }
 // Send injects a packet from its source host's NIC.
 func (n *Network) Send(p *packet.Packet) {
 	nic := n.hostNIC[p.Src]
+	nic.sync(n.Eng.Now())
 	nic.q.Push(p)
 	if n.obs != nil {
 		n.obs.Enqueue(nic.sw, nic.idx, p, nic.q.Bytes())
@@ -327,6 +420,7 @@ func (n *Network) SetLinkStateAt(li int, at units.Time, up bool) error {
 	if err := n.checkLink(li); err != nil {
 		return err
 	}
+	n.faultsSeen = true
 	n.Eng.At(at, func() { n.SetLinkState(li, up) })
 	return nil
 }
@@ -347,6 +441,11 @@ func (n *Network) SetLinkState(li int, up bool) {
 // setLinkState flips both ports of link li without emitting a fault event
 // (switch-level transitions reuse it per attached link).
 func (n *Network) setLinkState(li int, up bool) {
+	n.faultsSeen = true
+	for _, pt := range n.linkPorts(li) {
+		pt.sync(n.Eng.Now())
+		pt.invalidate()
+	}
 	for _, pt := range n.linkPorts(li) {
 		switch {
 		case up && pt.down:
@@ -378,6 +477,7 @@ func (n *Network) SetSwitchStateAt(sw int, at units.Time, up bool) error {
 	if sw < 0 || sw >= n.Topo.NumSwitches {
 		return fmt.Errorf("fabric: switch %d out of range [0,%d)", sw, n.Topo.NumSwitches)
 	}
+	n.faultsSeen = true
 	n.Eng.At(at, func() { n.SetSwitchState(sw, up) })
 	return nil
 }
@@ -407,6 +507,7 @@ func (n *Network) SetLinkBERAt(li int, at units.Time, ber float64) error {
 	if ber < 0 || ber > 1 {
 		return fmt.Errorf("fabric: link %d bit-error rate %g outside [0,1]", li, ber)
 	}
+	n.faultsSeen = true
 	n.Eng.At(at, func() { n.SetLinkBER(li, ber) })
 	return nil
 }
@@ -414,7 +515,10 @@ func (n *Network) SetLinkBERAt(li int, at units.Time, ber float64) error {
 // SetLinkBER applies a bit-error rate change immediately (simulator thread
 // only; see SetLinkBERAt).
 func (n *Network) SetLinkBER(li int, ber float64) {
+	n.faultsSeen = true
 	for _, pt := range n.linkPorts(li) {
+		pt.sync(n.Eng.Now())
+		pt.invalidate()
 		pt.ber = ber
 	}
 	n.emitFault(telemetry.FaultEvent{
@@ -432,6 +536,7 @@ func (n *Network) SetLinkRateFactorAt(li int, at units.Time, factor float64) err
 	if factor <= 0 {
 		return fmt.Errorf("fabric: link %d rate factor %g must be positive", li, factor)
 	}
+	n.faultsSeen = true
 	n.Eng.At(at, func() { n.SetLinkRateFactor(li, factor) })
 	return nil
 }
@@ -439,7 +544,10 @@ func (n *Network) SetLinkRateFactorAt(li int, at units.Time, factor float64) err
 // SetLinkRateFactor applies a rate brownout immediately (simulator thread
 // only; see SetLinkRateFactorAt).
 func (n *Network) SetLinkRateFactor(li int, factor float64) {
+	n.faultsSeen = true
 	for _, pt := range n.linkPorts(li) {
+		pt.sync(n.Eng.Now())
+		pt.invalidate()
 		pt.rate = units.BitRate(float64(pt.rate0) * factor)
 		if pt.rate < 1 {
 			pt.rate = 1
@@ -534,71 +642,512 @@ func (n *Network) drop(sw, port int, p *packet.Packet, reason metrics.DropReason
 // Port is one egress queue with an attached link. Transmission is
 // store-and-forward: a popped packet occupies the link for its
 // serialization time, then arrives at the peer after the propagation delay.
+//
+// The transmit path is event-coalesced. Instead of one end-of-serialization
+// event per packet, an idle port with a backlog plans a packet train: it
+// computes the exact departure and arrival time of up to TrainLen queued
+// segments in one pass (drawing each segment's jitter from the port's
+// positional stream) and arms a single transmit event at the train's end.
+// Planned segments stay in the queue — occupancy readings must match the
+// per-packet engine at every instant — and are committed (popped onto the
+// wire) lazily by sync() the moment anything observes the port: an enqueue,
+// a policy occupancy probe, an arrival, or the train-end event itself.
+// Rewrites that would reorder a planned pop (a lower-rank insertion into a
+// sorted queue, overflow eviction, any fault) invalidate the uncommitted
+// tail, returning its jitter draws for positional reuse, so results stay
+// bit-identical to TrainLen=0 while a saturated port pays one transmit
+// event per train instead of per packet.
 type Port struct {
 	net     *Network
 	sw, idx int // switch ID and port index (-1/hostID for host NICs)
 	q       buffer.Queue
-	rate    units.BitRate // current rate (degraded during brownouts)
-	rate0   units.BitRate // configured rate, restored by factor-1 transitions
+	sorted  *buffer.SortedQueue // q, when rank-sorted (nil for drop-tail)
+	rate    units.BitRate       // current rate (degraded during brownouts)
+	rate0   units.BitRate       // configured rate, restored by factor-1 transitions
 	delay   units.Time
-	busy    bool
 	down    bool    // link failed: no carrier
 	wasDown bool    // carrier was lost and later restored at least once
 	ber     float64 // bit-error corruption probability per transmitted packet
 	deliver func(*packet.Packet)
 
-	// Transmit-path machinery, allocated once per port instead of twice per
-	// packet: serialization order plus a fixed propagation delay means the
-	// link delivers strictly FIFO, so in-flight packets ride a small queue
-	// drained by one prebuilt arrival handler, and the end-of-serialization
-	// callback is likewise shared.
-	inflight []*packet.Packet
-	infHead  int
-	txDone   func() // fires when serialization ends: free the line
-	arrive   func() // fires at the peer: deliver the oldest in-flight packet
+	// rng is the port's private jitter stream. Draw k is a pure function of
+	// (engine seed, port identity, k), so planning a train draws the same
+	// values per packet as popping one packet at a time would.
+	rng xrand.Source
+
+	// Wire state. busyUntil is when the last scheduled serialization ends;
+	// the port is idle iff now >= busyUntil. txArmed records whether a
+	// transmit event is pending at txAt — a port whose queue drains empty
+	// leaves none armed (lazy-busy), and the next enqueue arms a
+	// continuation at busyUntil if the wire is still occupied. A stale
+	// transmit event (abandoned by an invalidation) identifies itself by
+	// firing when !txArmed or at a time other than txAt.
+	busyUntil units.Time
+	txAt      units.Time
+	txArmed   bool
+	// txSched is the instant the pending transmit event was armed: a
+	// superseded event also fails this check, so re-arming for the same
+	// txAt cannot resurrect an abandoned firing. contSched is the VIRTUAL
+	// schedule time of the pending pop — the instant per-packet mode would
+	// have scheduled it (the previous pop's start). It differs from txSched
+	// after an invalidation re-arms the continuation: the replacement event
+	// carries a later sequence number than the per-packet pop it stands in
+	// for, and sync's early-fire hook uses contSched to restore the exact
+	// same-instant fire order. contCtx extends the comparison one level:
+	// it is the virtual pop's schedule *context* — the schedule time of the
+	// event that would have scheduled it (see sim.Engine.CurSchedCtx) — and
+	// breaks the tie when the virtual pop and a touching event were both
+	// scheduled within the same instant.
+	txSched   units.Time
+	contSched units.Time
+	contCtx   units.Time
+
+	// Train plan, struct-of-arrays: segment i of the plan serializes over
+	// [planStart[i], planEnd[i]) with jitter planJit[i] folded in. Segments
+	// planHead..planN-1 are uncommitted and still occupy the queue.
+	// planMaxRank is the largest planned rank (sorted queues), the
+	// planning-time bound deciding whether an insertion preempts the plan.
+	// planTarget adapts the train length: it grows toward Cfg.TrainLen on
+	// cleanly completed plans and halves on invalidation, so ports whose
+	// plans keep getting preempted stop paying for long ones.
+	planStart   []units.Time
+	planEnd     []units.Time
+	planJit     []units.Time
+	planHead    int
+	planN       int
+	planMaxRank uint32
+	planTarget  int
+	// headSched/headCtx track the virtual schedule position — (schedule
+	// time, scheduler's schedule time) — the per-packet engine would have
+	// given the pending head segment's pop event. Each commit advances them
+	// by the chain rule (the next pop is scheduled inside the current one);
+	// an enqueue-triggered commit overrides the context with the enqueuing
+	// event's own position, exactly as per-packet mode would.
+	headSched units.Time
+	headCtx   units.Time
+
+	// vposAt/vposCtx, when vposSet, override the virtual position maybeSend
+	// attributes to its caller. A continuation transmit event (or sync's
+	// early-fire of one) stands in for a per-packet pop scheduled at an
+	// earlier position (contSched, contCtx); pops it performs must chain
+	// their virtual positions from there, not from the stand-in event's
+	// real schedule position.
+	vposAt  units.Time
+	vposCtx units.Time
+	vposSet bool
+
+	// drawBuf holds jitter values reclaimed from invalidated plan tails, in
+	// draw order; drawJitter consumes it before touching rng so the k-th
+	// committed pop always carries the k-th drawn value.
+	drawBuf  []units.Time
+	drawHead int
+
+	// In-flight (committed) packets riding the link, delivered strictly
+	// FIFO by one self-rescheduling arrival event: inflightAt[i] is the
+	// exact wire arrival time of inflight[i].
+	inflight   []*packet.Packet
+	inflightAt []units.Time
+	infHead    int
+	arrAt      units.Time
+	arrArmed   bool
+
+	txFire  func() // train end / continuation: settle the plan, send more
+	arrFire func() // deliver the due in-flight packet to the peer
 }
 
-// initTx builds the port's shared transmit callbacks.
+// initTx builds the port's two shared event callbacks. Neither is ever
+// cancelled: superseded armings are recognized by flag/time mismatch and
+// fall through, so no Timer handles are needed and a saturated port rides
+// one chained frame per direction.
 func (pt *Port) initTx() {
-	pt.txDone = func() {
-		pt.busy = false
+	pt.txFire = func() {
+		eng := pt.net.Eng
+		now := eng.Now()
+		if !pt.txArmed || now != pt.txAt || eng.CurSchedAt() != pt.txSched {
+			return // superseded or early-fired; a live arming has its own event
+		}
+		if cs, cc := eng.CurSchedAt(), eng.CurSchedCtx(); cs < pt.contSched ||
+			(cs == pt.contSched && cc < pt.contCtx) {
+			// Armed earlier than per-packet mode would have scheduled this
+			// pop (a train end is armed at plan time, not at the last
+			// segment's start): same-instant events scheduled before
+			// (contSched, contCtx) must fire first. Requeue behind them; any
+			// later-sequenced event touching the port meanwhile pops via
+			// sync's early-fire hook instead.
+			pt.txSched = now
+			eng.Sched(now, pt.txFire)
+			return
+		}
+		pt.txArmed = false
+		vs, vc := pt.contSched, pt.contCtx
+		pt.sync(now)
+		pt.vposAt, pt.vposCtx, pt.vposSet = vs, vc, true
 		pt.maybeSend()
 	}
-	pt.arrive = func() {
+	pt.arrFire = func() {
+		now := pt.net.Eng.Now()
+		if !pt.arrArmed || now != pt.arrAt {
+			return
+		}
+		// Commit any segment that started serializing before now; the due
+		// arrival is always committed by its own firing (its start precedes
+		// its arrival by at least the propagation delay).
+		pt.sync(now)
+		pt.arrArmed = false
+		if pt.infHead >= len(pt.inflight) || pt.inflightAt[pt.infHead] != now {
+			pt.rearmArrive() // arming referred to a since-invalidated segment
+			return
+		}
 		p := pt.inflight[pt.infHead]
 		pt.inflight[pt.infHead] = nil
 		pt.infHead++
 		// Reclaim the consumed prefix so a continuously busy link cannot
-		// grow the slice without bound (only a handful of packets fit in
+		// grow the slices without bound (only a handful of packets fit in
 		// one propagation delay, so the copy is tiny).
 		if pt.infHead == len(pt.inflight) {
 			pt.inflight = pt.inflight[:0]
+			pt.inflightAt = pt.inflightAt[:0]
 			pt.infHead = 0
 		} else if pt.infHead > 32 && pt.infHead*2 >= len(pt.inflight) {
 			pt.inflight = append(pt.inflight[:0], pt.inflight[pt.infHead:]...)
+			pt.inflightAt = append(pt.inflightAt[:0], pt.inflightAt[pt.infHead:]...)
 			pt.infHead = 0
 		}
+		pt.rearmArrive()
 		pt.deliver(p)
 	}
 }
 
-// Queue exposes the port's queue (used by policies and tests).
-func (pt *Port) Queue() buffer.Queue { return pt.q }
+// Queue exposes the port's queue, settled to the current instant so
+// policies and tests read exact occupancy.
+func (pt *Port) Queue() buffer.Queue {
+	pt.sync(pt.net.Eng.Now())
+	return pt.q
+}
 
 // Down reports whether the port's link has failed.
 func (pt *Port) Down() bool { return pt.down }
 
-func (pt *Port) maybeSend() {
-	if pt.busy {
+// occBytes returns the queue occupancy an external observer must see: lazy
+// train state settled to now first.
+func (pt *Port) occBytes() units.ByteSize {
+	pt.sync(pt.net.Eng.Now())
+	return pt.q.Bytes()
+}
+
+// fitsNow reports whether n more bytes fit, after settling to now.
+func (pt *Port) fitsNow(n units.ByteSize) bool {
+	pt.sync(pt.net.Eng.Now())
+	return pt.q.Fits(n)
+}
+
+// settle commits everything due and abandons the rest of the plan; callers
+// are about to rewrite the queue in ways planning cannot survive
+// (ForceInsert's rank insertion plus tail eviction).
+func (pt *Port) settle() {
+	pt.sync(pt.net.Eng.Now())
+	pt.invalidate()
+}
+
+// sync commits every planned segment whose serialization started strictly
+// before now: the packet pops from the queue and joins the in-flight list
+// exactly as the per-packet engine already did at its start time. Strict
+// inequality mirrors per-packet event order at shared instants, where the
+// touching event (an arrival's enqueue) carries an earlier sequence number
+// than the pop it ties with.
+func (pt *Port) sync(now units.Time) {
+	if pt.planHead < pt.planN {
+		for pt.planHead < pt.planN && pt.planStart[pt.planHead] < now {
+			pt.commitHead()
+		}
+		// Tie at the head segment's exact start instant: per-packet mode
+		// scheduled this pop at the previous segment's start (the transmit
+		// chain arms the next event at pop time), so it has already fired
+		// from the touching event's point of view exactly when its virtual
+		// position (headSched, headCtx) precedes the toucher's.
+		if pt.planHead < pt.planN && pt.planStart[pt.planHead] == now {
+			vs, vc := pt.headSched, pt.headCtx
+			cs, cc := pt.net.Eng.CurSchedAt(), pt.net.Eng.CurSchedCtx()
+			if vs < cs || (vs == cs && vc < cc) {
+				pt.commitHead()
+			}
+		}
+		if pt.planHead == pt.planN {
+			// Clean completion: the plan survived untouched, so trains on
+			// this port can afford to grow.
+			pt.planHead, pt.planN = 0, 0
+			if t := pt.planTarget << 1; t <= pt.net.Cfg.TrainLen {
+				pt.planTarget = t
+			}
+		}
+	}
+	// A continuation pop pending at this exact instant whose virtual
+	// schedule position (time, then schedule context) precedes the touching
+	// event's would have fired first in per-packet mode: run it before the
+	// touch observes or mutates the queue. The real event then self-rejects
+	// on txArmed.
+	if pt.planN == 0 && pt.txArmed && pt.txAt == now && !pt.down && pt.q.Len() > 0 {
+		cs, cc := pt.net.Eng.CurSchedAt(), pt.net.Eng.CurSchedCtx()
+		if pt.contSched < cs || (pt.contSched == cs && pt.contCtx < cc) {
+			pt.txArmed = false
+			pt.vposAt, pt.vposCtx, pt.vposSet = pt.contSched, pt.contCtx, true
+			pt.maybeSend()
+		}
+	}
+}
+
+// commitHead pops the plan's first uncommitted segment from the queue and
+// moves it to the in-flight list, exactly as the per-packet engine did at
+// the segment's start time.
+func (pt *Port) commitHead() {
+	p := pt.q.Pop()
+	if pt.wasDown && p.Kind == packet.Data {
+		pt.net.Met.PostRecoveryTx++
+	}
+	pt.inflight = append(pt.inflight, p)
+	pt.inflightAt = append(pt.inflightAt, pt.planEnd[pt.planHead]+pt.delay)
+	pt.planHead++
+	// Chain rule: per-packet mode schedules the next pop inside this one,
+	// so the new head's pop is scheduled at the committed segment's start
+	// with the old head's schedule time as its context.
+	pt.headCtx = pt.headSched
+	pt.headSched = pt.planStart[pt.planHead-1]
+}
+
+// invalidate abandons the uncommitted tail of the plan. The packets never
+// left the queue, so only plan metadata resets; their already-drawn jitter
+// values are reclaimed in order for positional reuse by the next draws.
+func (pt *Port) invalidate() {
+	if pt.planHead >= pt.planN {
 		return
+	}
+	// If the arrival chain is armed at a planned (uncommitted) segment's
+	// arrival, that segment no longer exists: disarm, and let the pending
+	// event reject itself on the flag/time check. A replan re-arms.
+	if pt.arrArmed && pt.infHead >= len(pt.inflight) {
+		pt.arrArmed = false
+	}
+	pt.unconsumeDraws(pt.planJit[pt.planHead:pt.planN])
+	// The wire is only committed through the end of the last synced
+	// segment, which is where the first uncommitted one would have started.
+	pt.busyUntil = pt.planStart[pt.planHead]
+	// Re-arm the continuation pop at the abandoned head's start. The event
+	// just scheduled carries this instant's sequence number, but per-packet
+	// mode scheduled that pop while popping the previous segment — keep the
+	// virtual schedule position so sync can early-fire it ahead of
+	// same-instant events that should have out-sequenced it.
+	pt.contSched = pt.headSched
+	pt.contCtx = pt.headCtx
+	pt.planHead, pt.planN = 0, 0
+	pt.txArmed = true
+	pt.txAt = pt.busyUntil
+	pt.txSched = pt.net.Eng.Now()
+	pt.net.Eng.Sched(pt.txAt, pt.txFire)
+	if pt.planTarget > 2 {
+		pt.planTarget >>= 1
+	}
+	pt.net.trainInvals++
+}
+
+// unconsumeDraws pushes jits — the plan's uncommitted jitter values, which
+// are always the most recently consumed draws — back to the FRONT of the
+// pending-draw queue, so the next pops see exactly the sequence they would
+// have drawn one at a time. Appending instead would rotate the order the
+// second time a port invalidates with reclaimed draws still pending.
+func (pt *Port) unconsumeDraws(jits []units.Time) {
+	if len(jits) == 0 {
+		return
+	}
+	old := pt.drawBuf
+	rest := len(old) - pt.drawHead
+	need := len(jits) + rest
+	if cap(old) < need {
+		nb := make([]units.Time, need, 2*need)
+		copy(nb, jits)
+		copy(nb[len(jits):], old[pt.drawHead:])
+		pt.drawBuf = nb
+	} else {
+		pt.drawBuf = old[:need]
+		copy(pt.drawBuf[len(jits):], old[pt.drawHead:pt.drawHead+rest])
+		copy(pt.drawBuf[:len(jits)], jits)
+	}
+	pt.drawHead = 0
+}
+
+// drawJitter returns the next positional jitter value in [0, jmax]:
+// reclaimed draws first, then fresh ones from the port's stream.
+func (pt *Port) drawJitter(jmax int64) units.Time {
+	if pt.drawHead < len(pt.drawBuf) {
+		v := pt.drawBuf[pt.drawHead]
+		pt.drawHead++
+		if pt.drawHead == len(pt.drawBuf) {
+			pt.drawBuf = pt.drawBuf[:0]
+			pt.drawHead = 0
+		}
+		return v
+	}
+	return units.Time(pt.rng.Int63n(jmax + 1))
+}
+
+// rearmArrive schedules the delivery chain for the earliest pending
+// arrival, committed or still planned. No-op when already armed or nothing
+// is pending. An arrival armed at a planned segment is safe: the segment's
+// start precedes its arrival, so the firing's own sync commits it first.
+func (pt *Port) rearmArrive() {
+	if pt.arrArmed {
+		return
+	}
+	var at units.Time
+	switch {
+	case pt.infHead < len(pt.inflight):
+		at = pt.inflightAt[pt.infHead]
+	case pt.planHead < pt.planN:
+		at = pt.planEnd[pt.planHead] + pt.delay
+	default:
+		return
+	}
+	pt.arrArmed = true
+	pt.arrAt = at
+	pt.net.Eng.Sched(at, pt.arrFire)
+}
+
+// maybeSend puts the wire to work. Callers must have settled the port to
+// now (enqueue and the event callbacks all do).
+func (pt *Port) maybeSend() {
+	now := pt.net.Eng.Now()
+	// The virtual schedule position of the event driving this call: the real
+	// firing event's, unless a continuation stand-in overrode it (see vposAt).
+	// Pops performed here chain their virtual positions from it.
+	vs, vc := pt.net.Eng.CurSchedAt(), pt.net.Eng.CurSchedCtx()
+	if pt.vposSet {
+		vs, vc, pt.vposSet = pt.vposAt, pt.vposCtx, false
 	}
 	if pt.down {
 		// No carrier: anything queued is lost, as on a real unplugged cable.
+		pt.sync(now)
+		pt.invalidate()
 		for p := pt.q.Pop(); p != nil; p = pt.q.Pop() {
 			pt.net.drop(pt.sw, pt.idx, p, metrics.DropLinkDown)
 		}
 		return
 	}
+	if pt.planHead < pt.planN && pt.planStart[pt.planHead] == now {
+		// Enqueue landing exactly when the head segment starts: per-packet
+		// mode's wire went idle at this instant (planned segments are
+		// back-to-back), so its maybeSend pops the head synchronously inside
+		// the enqueuing event — regardless of the armed continuation's
+		// sequence position, which then self-rejects. Commit the head here
+		// and stamp its successor's virtual position with this event's own,
+		// since per-packet mode scheduled the next pop from right here.
+		pt.commitHead()
+		pt.headCtx = vs
+		if pt.planHead == pt.planN {
+			pt.contCtx = pt.headCtx
+			pt.planHead, pt.planN = 0, 0
+			if t := pt.planTarget << 1; t <= pt.net.Cfg.TrainLen {
+				pt.planTarget = t
+			}
+		}
+	}
+	if now < pt.busyUntil {
+		// Wire busy. Lazy-busy: the port that went empty armed no trailing
+		// event, so the enqueue that found it mid-serialization arms the
+		// continuation.
+		if !pt.txArmed {
+			pt.txArmed = true
+			pt.txAt = pt.busyUntil
+			pt.txSched = now
+			// Genuine lazy-busy: the queue had drained, so no earlier pop
+			// event ever existed and this event's own sequencing is exact.
+			pt.contSched = now
+			pt.contCtx = vs
+			pt.net.Eng.Sched(pt.txAt, pt.txFire)
+		}
+		return
+	}
+	if pt.net.trainsOK() && pt.ber == 0 && pt.q.Len() > 1 {
+		pt.plan(now, vs, vc)
+	} else {
+		pt.sendOne(now, vs)
+	}
+}
+
+// plan coalesces up to planTarget queued segments into one packet train:
+// exact per-segment times now, one transmit event at the train's end.
+// vs/vc is the caller's virtual schedule position (see maybeSend), from
+// which segment 0's pop — performed per-packet inside that very event —
+// chains the plan's virtual pop positions.
+func (pt *Port) plan(now, vs, vc units.Time) {
+	n := pt.q.Len()
+	if pt.planTarget == 0 {
+		pt.planTarget = 8
+	}
+	if pt.planTarget > pt.net.Cfg.TrainLen {
+		pt.planTarget = pt.net.Cfg.TrainLen
+	}
+	if n > pt.planTarget {
+		n = pt.planTarget
+	}
+	if pt.planStart == nil {
+		l := pt.net.Cfg.TrainLen
+		pt.planStart = make([]units.Time, l)
+		pt.planEnd = make([]units.Time, l)
+		pt.planJit = make([]units.Time, l)
+	}
+	jmax := int64(pt.net.Cfg.Jitter)
+	t := now
+	for i := 0; i < n; i++ {
+		tx := pt.rate.TxTime(pt.q.PeekAt(i).Size())
+		var jit units.Time
+		if jmax > 0 {
+			jit = pt.drawJitter(jmax)
+			tx += jit
+		}
+		pt.planStart[i] = t
+		pt.planJit[i] = jit
+		t += tx
+		pt.planEnd[i] = t
+	}
+	if t == now {
+		// Degenerate zero-duration train (absurd rate, zero jitter): fall
+		// back to one-at-a-time so the train-end event cannot spin in place.
+		// The consumed draws go back for positional reuse.
+		pt.unconsumeDraws(pt.planJit[:n])
+		pt.sendOne(now, vs)
+		return
+	}
+	if pt.sorted != nil {
+		pt.planMaxRank = pt.sorted.MaxRankAt(n - 1)
+	}
+	pt.planHead, pt.planN = 0, n
+	pt.busyUntil = t
+	pt.txAt = t
+	pt.txArmed = true
+	pt.txSched = now
+	// Per-packet mode would schedule the pop at the train's end while
+	// popping the last segment, not now; its scheduler — the pop of the
+	// last segment — would itself have been scheduled at the start of the
+	// one before (n >= 2 always: plans need at least two queued packets).
+	pt.contSched = pt.planStart[n-1]
+	pt.contCtx = pt.planStart[n-2]
+	// The first segment starts now: per-packet mode pops it inside this very
+	// event, so commit it eagerly — a later read at this same instant must
+	// not see it still queued. Its virtual pop position is the caller's
+	// virtual position; the chain rule in commitHead advances from there.
+	pt.headSched = vs
+	pt.headCtx = vc
+	pt.commitHead()
+	pt.net.Eng.Sched(t, pt.txFire)
+	pt.rearmArrive()
+	pt.net.trainsPlanned++
+	pt.net.trainSegs += uint64(n)
+}
+
+// sendOne is the per-packet path: used when trains are disabled or stood
+// down, and for a lone queued packet, where lazy-busy already means zero
+// trailing events. vs is the caller's virtual schedule time (see
+// maybeSend): the continuation this pop arms is virtually scheduled by it.
+func (pt *Port) sendOne(now, vs units.Time) {
 	p := pt.q.Pop()
 	if p == nil {
 		return
@@ -606,21 +1155,28 @@ func (pt *Port) maybeSend() {
 	if pt.wasDown && p.Kind == packet.Data {
 		pt.net.Met.PostRecoveryTx++
 	}
-	pt.busy = true
 	tx := pt.rate.TxTime(p.Size())
-	eng := pt.net.Eng
-	if j := pt.net.Cfg.Jitter; j > 0 {
-		tx += units.Time(eng.Rand().Int63n(int64(j) + 1))
+	if j := int64(pt.net.Cfg.Jitter); j > 0 {
+		tx += pt.drawJitter(j)
 	}
 	if o := pt.net.obs; o != nil {
 		o.Transmit(pt.sw, pt.idx, p, tx, pt.q.Bytes())
 	}
-	// Fire-and-forget scheduling: neither callback is ever cancelled, so no
-	// Timer handle is needed, and when this runs inside txDone (back-to-back
-	// transmissions) or arrive (receive-side forwarding), the firing frame
-	// self-reschedules in place — a saturated port rides a single tx event
-	// instead of cycling one through the free list per packet.
-	eng.SchedAfter(tx, pt.txDone)
+	end := now + tx
+	pt.busyUntil = end
+	eng := pt.net.Eng
+	if pt.q.Len() > 0 {
+		pt.txAt = end
+		pt.txArmed = true
+		pt.txSched = now
+		pt.contSched = now
+		pt.contCtx = vs
+		eng.Sched(end, pt.txFire)
+	} else {
+		// Lazy-busy: nothing left to send at end-of-serialization, so no
+		// event; an enqueue landing before then arms the continuation.
+		pt.txArmed = false
+	}
 	if pt.ber > 0 && eng.Rand().Float64() < pt.ber {
 		// Bit-error corruption: the bits occupy the wire for the full
 		// serialization time, but the far end discards the frame on checksum.
@@ -628,7 +1184,8 @@ func (pt *Port) maybeSend() {
 		return
 	}
 	pt.inflight = append(pt.inflight, p)
-	eng.SchedAfter(tx+pt.delay, pt.arrive)
+	pt.inflightAt = append(pt.inflightAt, end+pt.delay)
+	pt.rearmArrive()
 }
 
 // Switch is an output-queued switch running one forwarding policy.
@@ -656,12 +1213,14 @@ func newSwitch(n *Network, id int) *Switch {
 	s.ports = make([]*Port, nports)
 	for p := 0; p < nports; p++ {
 		var q buffer.Queue
+		var sq *buffer.SortedQueue
 		if n.Cfg.Policy == Vertigo && n.Cfg.Scheduling {
-			q = buffer.NewSorted(n.Cfg.BufferBytes)
+			sq = buffer.NewSorted(n.Cfg.BufferBytes)
+			q = sq
 		} else {
 			q = buffer.NewDropTail(n.Cfg.BufferBytes)
 		}
-		s.ports[p] = &Port{net: n, sw: id, idx: p, q: q}
+		s.ports[p] = &Port{net: n, sw: id, idx: p, q: q, sorted: sq}
 		s.ports[p].initTx()
 	}
 	return s
@@ -702,8 +1261,17 @@ func (s *Switch) Receive(p *packet.Packet) {
 // policies route around failures in place.
 func (s *Switch) enqueue(i int, p *packet.Packet) bool {
 	port := s.ports[i]
-	if port.down || !port.q.Push(p) {
+	if port.down {
 		return false
+	}
+	port.sync(s.net.Eng.Now())
+	if !port.q.Push(p) {
+		return false
+	}
+	// A rank-sorted insertion below the plan's largest rank would pop ahead
+	// of a planned segment; abandon the plan's uncommitted tail.
+	if port.planHead < port.planN && port.sorted != nil && p.Rank() < port.planMaxRank {
+		port.invalidate()
 	}
 	s.markECN(port, p)
 	if o := s.net.obs; o != nil {

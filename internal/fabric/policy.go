@@ -1,9 +1,9 @@
 package fabric
 
 import (
-	"vertigo/internal/buffer"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
+	"vertigo/internal/units"
 )
 
 // mix64 is a splitmix64 finalizer, used for flow hashing.
@@ -44,9 +44,10 @@ func (s *Switch) routeDRILL(p *packet.Packet) {
 		return
 	}
 	best := -1
+	var bestBytes units.ByteSize
 	consider := func(i int) {
-		if best == -1 || s.ports[i].q.Bytes() < s.ports[best].q.Bytes() {
-			best = i
+		if b := s.ports[i].occBytes(); best == -1 || b < bestBytes {
+			best, bestBytes = i, b
 		}
 	}
 	if len(cands) == 1 {
@@ -100,7 +101,7 @@ func (s *Switch) routeDIBS(p *packet.Packet) {
 		j := rng.Intn(n)
 		port := set[j]
 		set[j] = set[n-1]
-		if !s.ports[port].down && s.ports[port].q.Fits(p.Size()) {
+		if !s.ports[port].down && s.ports[port].fitsNow(p.Size()) {
 			p.Deflections++
 			s.net.Met.Deflections++
 			if o := s.net.obs; o != nil {
@@ -152,7 +153,8 @@ func (s *Switch) routeVertigo(p *packet.Packet) {
 	if !s.net.Cfg.Deflection {
 		// Ablation (Fig. 11a "No Deflection"): behave as a pure SRPT buffer,
 		// keeping the smallest-RFS packets and dropping the largest.
-		if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+		if sq := s.ports[i].sorted; sq != nil && !s.ports[i].down {
+			s.ports[i].settle()
 			s.markECN(s.ports[i], p)
 			for _, ev := range sq.ForceInsert(p) {
 				s.net.drop(s.id, i, ev, metrics.DropOverflow)
@@ -174,7 +176,10 @@ func (s *Switch) routeVertigo(p *packet.Packet) {
 // (Fig. 11a "No Scheduling") the arriving packet itself is the victim,
 // which is exactly random-deflection behaviour.
 func (s *Switch) overflowVictims(i int, p *packet.Packet) []*packet.Packet {
-	if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+	if sq := s.ports[i].sorted; sq != nil && !s.ports[i].down {
+		// ForceInsert inserts by rank and evicts from the tail — possibly
+		// planned segments — so the plan cannot survive it.
+		s.ports[i].settle()
 		s.markECN(s.ports[i], p)
 		victims := sq.ForceInsert(p)
 		s.ports[i].maybeSend()
@@ -196,7 +201,7 @@ func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
 		return
 	}
 	i := s.pickPowerOfN(set, s.net.Cfg.DeflChoices)
-	if !s.ports[i].down && s.ports[i].q.Fits(victim.Size()) {
+	if !s.ports[i].down && s.ports[i].fitsNow(victim.Size()) {
 		victim.Deflections++
 		s.net.Met.Deflections++
 		if o := s.net.obs; o != nil {
@@ -207,7 +212,8 @@ func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
 	}
 	// Both sampled queues full: severe congestion. Insert into the sampled
 	// port by rank and drop from its tail (paper footnote 5).
-	if sq, ok := s.ports[i].q.(*buffer.SortedQueue); ok && !s.ports[i].down {
+	if sq := s.ports[i].sorted; sq != nil && !s.ports[i].down {
+		s.ports[i].settle()
 		victim.Deflections++
 		s.net.Met.Deflections++
 		if o := s.net.obs; o != nil {
@@ -237,6 +243,7 @@ func (s *Switch) pickPowerOfN(cands []int, n int) int {
 		n = len(cands)
 	}
 	best := -1
+	var bestBytes units.ByteSize
 	// Partial Fisher-Yates over a stack copy for distinct samples. The
 	// fixed-size buffer keeps this zero-alloc for any realistic radix; only
 	// pathological port counts fall back to the heap.
@@ -250,8 +257,8 @@ func (s *Switch) pickPowerOfN(cands []int, n int) int {
 		j := k + rng.Intn(len(idx)-k)
 		idx[k], idx[j] = idx[j], idx[k]
 		c := idx[k]
-		if best == -1 || s.ports[c].q.Bytes() < s.ports[best].q.Bytes() {
-			best = c
+		if b := s.ports[c].occBytes(); best == -1 || b < bestBytes {
+			best, bestBytes = c, b
 		}
 	}
 	return best

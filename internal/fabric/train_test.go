@@ -1,0 +1,181 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/units"
+)
+
+// arrivalLog runs a canned traffic pattern under cfg and returns every
+// delivery as "host/id@time" in arrival order, plus the network for counter
+// inspection. The pattern floods one ToR downlink from two senders while a
+// third host trickles cross-leaf traffic, exercising backlogs (trains),
+// lazy-busy continuations and deflection.
+func arrivalLog(t *testing.T, cfg Config) ([]string, *Network) {
+	t.Helper()
+	eng, net, _, _ := testNet(t, cfg)
+	var log []string
+	for h := 0; h < net.Topo.NumHosts; h++ {
+		h := h
+		net.RegisterHost(h, recvFunc(func(p *packet.Packet) {
+			log = append(log, fmt.Sprintf("%d/%d@%d", h, p.ID, eng.Now()))
+		}))
+	}
+	var ids packet.IDGen
+	for i := 0; i < 60; i++ {
+		at := units.Time(i) * 300 * units.Nanosecond
+		i := i
+		eng.At(at, func() {
+			net.Send(dataPkt(&ids, 1, 0, 1, uint32(1000+i)))
+			net.Send(dataPkt(&ids, 2, 0, 2, uint32(2000+i)))
+			if i%5 == 0 {
+				net.Send(dataPkt(&ids, 3, 1, 3, uint32(3000+i)))
+			}
+		})
+	}
+	eng.Run(units.Second)
+	return log, net
+}
+
+// TestTrainArrivalIdentity checks the tentpole exactness claim at unit
+// scale: every delivery (host, packet, instant, order) is identical with
+// coalescing off, moderate, and maxed, for every policy.
+func TestTrainArrivalIdentity(t *testing.T) {
+	for _, policy := range []Policy{ECMP, DRILL, DIBS, Vertigo} {
+		var base []string
+		for _, train := range []int{0, 4, 64} {
+			cfg := DefaultConfig(policy)
+			cfg.TrainLen = train
+			log, net := arrivalLog(t, cfg)
+			if train == 0 {
+				base = log
+				if ts := net.TrainStats(); ts.Trains != 0 {
+					t.Errorf("%v: TrainLen=0 planned %d trains", policy, ts.Trains)
+				}
+				continue
+			}
+			if len(log) != len(base) {
+				t.Errorf("%v train=%d: %d deliveries, want %d", policy, train, len(log), len(base))
+				continue
+			}
+			for i := range log {
+				if log[i] != base[i] {
+					t.Errorf("%v train=%d: delivery %d = %s, want %s",
+						policy, train, i, log[i], base[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestTrainStatsActivity checks that a backlogged port actually coalesces:
+// trains form and carry more than one segment each on average.
+func TestTrainStatsActivity(t *testing.T) {
+	cfg := DefaultConfig(DIBS)
+	cfg.TrainLen = 64
+	_, net := arrivalLog(t, cfg)
+	ts := net.TrainStats()
+	if ts.Trains == 0 {
+		t.Fatal("no trains planned on a backlogged port")
+	}
+	if ts.Segments <= ts.Trains {
+		t.Errorf("segments (%d) <= trains (%d): coalescing is not batching", ts.Segments, ts.Trains)
+	}
+}
+
+// TestTrainObserverStandsDown checks the guard rail: with a telemetry
+// observer attached, no trains may form (per-packet Transmit callbacks need
+// exact now-stamps), silently and with unchanged results.
+func TestTrainObserverStandsDown(t *testing.T) {
+	cfg := DefaultConfig(DIBS)
+	cfg.TrainLen = 64
+	eng, net, _, got := testNet(t, cfg)
+	net.SetObserver(countObserver{})
+	var ids packet.IDGen
+	for i := 0; i < 40; i++ {
+		net.Send(dataPkt(&ids, 1, 0, 1, 100))
+	}
+	eng.Run(units.Second)
+	if ts := net.TrainStats(); ts.Trains != 0 {
+		t.Errorf("planned %d trains with an observer attached", ts.Trains)
+	}
+	if len(got[0]) != 40 {
+		t.Errorf("delivered %d, want 40", len(got[0]))
+	}
+}
+
+// countObserver is a minimal observer: attaching any observer must stand
+// trains down regardless of what it does.
+type countObserver struct{}
+
+func (countObserver) Enqueue(int, int, *packet.Packet, units.ByteSize)              {}
+func (countObserver) Transmit(int, int, *packet.Packet, units.Time, units.ByteSize) {}
+func (countObserver) Deflect(int, int, int, *packet.Packet)                         {}
+func (countObserver) Drop(int, int, *packet.Packet, metrics.DropReason)             {}
+func (countObserver) Deliver(int, *packet.Packet)                                   {}
+
+// TestTrainFaultStandsDown checks the other guard rail: the first fault
+// injection permanently stops new trains from forming.
+func TestTrainFaultStandsDown(t *testing.T) {
+	cfg := DefaultConfig(DIBS)
+	cfg.TrainLen = 64
+	eng, net, _, _ := testNet(t, cfg)
+	var ids packet.IDGen
+	if err := net.FailLinkAt(0, 100*units.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		net.Send(dataPkt(&ids, 1, 0, 1, 100))
+	}
+	eng.Run(units.Second)
+	if ts := net.TrainStats(); ts.Trains != 0 {
+		t.Errorf("planned %d trains after fault injection", ts.Trains)
+	}
+}
+
+// TestTrainInvalidationPreemption checks the replan path: a lower-rank
+// insertion into a sorted queue mid-plan abandons the uncommitted tail, and
+// results still match the per-packet engine exactly.
+func TestTrainInvalidationPreemption(t *testing.T) {
+	run := func(train int) ([]string, TrainStats) {
+		cfg := DefaultConfig(Vertigo)
+		cfg.TrainLen = train
+		eng, net, _, _ := testNet(t, cfg)
+		var log []string
+		for h := 0; h < net.Topo.NumHosts; h++ {
+			h := h
+			net.RegisterHost(h, recvFunc(func(p *packet.Packet) {
+				log = append(log, fmt.Sprintf("%d/%d@%d", h, p.ID, eng.Now()))
+			}))
+		}
+		var ids packet.IDGen
+		// Build a large-RFS backlog, then drip small-RFS packets that insert
+		// at the head of the sorted queue while a train is planned.
+		for i := 0; i < 30; i++ {
+			net.Send(dataPkt(&ids, 1, 0, 1, 500_000))
+		}
+		for i := 0; i < 10; i++ {
+			at := units.Time(i+1) * 2 * units.Microsecond
+			eng.At(at, func() { net.Send(dataPkt(&ids, 2, 0, 2, 10)) })
+		}
+		eng.Run(units.Second)
+		return log, net.TrainStats()
+	}
+	base, _ := run(0)
+	got, ts := run(64)
+	if ts.Invalidated == 0 {
+		t.Error("no plan invalidations under rank preemption")
+	}
+	if len(got) != len(base) {
+		t.Fatalf("%d deliveries, want %d", len(got), len(base))
+	}
+	for i := range got {
+		if got[i] != base[i] {
+			t.Fatalf("delivery %d = %s, want %s", i, got[i], base[i])
+		}
+	}
+}

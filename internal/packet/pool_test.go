@@ -55,6 +55,27 @@ func TestPoolSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
+// A recycled frame must never leak the previous tenant's memoized wire
+// size: Put clears it so the next tenant's first Size() call re-derives
+// from its own headers and payload.
+func TestPoolRecycledSizeNotStale(t *testing.T) {
+	pl := &Pool{}
+	p := pl.Get()
+	p.Kind = Data
+	p.PayloadLen = 1000
+	big := p.Size()
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("expected the recycled frame back")
+	}
+	q.Kind = Ack
+	q.PayloadLen = 0
+	if got := q.Size(); got == big {
+		t.Fatalf("recycled packet reports previous tenant's Size %v", got)
+	}
+}
+
 func TestPoolStats(t *testing.T) {
 	pl := &Pool{}
 	a := pl.Get() // miss
@@ -63,8 +84,10 @@ func TestPoolStats(t *testing.T) {
 	_ = pl.Get()  // miss
 	pl.Put(b)
 	st := pl.Stats()
-	if st != (PoolStats{Gets: 3, Hits: 1, Puts: 2}) {
-		t.Fatalf("stats %+v, want {3 1 2}", st)
+	// The first miss carves the one-and-only slab; the second miss carves
+	// another frame from it.
+	if st != (PoolStats{Gets: 3, Hits: 1, Puts: 2, Slabs: 1}) {
+		t.Fatalf("stats %+v, want {3 1 2 1}", st)
 	}
 	if got := st.RecycleRate(); got != 1.0/3.0 {
 		t.Fatalf("recycle rate %v, want 1/3", got)

@@ -36,12 +36,14 @@ type Handler func()
 // A tombstoned (dead) event stays in the heap until it surfaces at the root,
 // where Run discards it without firing.
 type event struct {
-	at    units.Time
-	seq   uint64 // schedule order, breaks timestamp ties deterministically
-	fn    Handler
-	gen   uint64 // incarnation counter, bumped on recycle
-	dead  bool   // tombstone: cancelled, reaped lazily at pop
-	chain bool   // fire-and-forget (Sched): frame may self-reschedule in place
+	at       units.Time
+	seq      uint64 // schedule order, breaks timestamp ties deterministically
+	fn       Handler
+	gen      uint64     // incarnation counter, bumped on recycle
+	schedAt  units.Time // sim time the event was scheduled, see CurSchedAt
+	schedCtx units.Time // schedAt of the event that scheduled this one, see CurSchedCtx
+	dead     bool       // tombstone: cancelled, reaped lazily at pop
+	chain    bool       // fire-and-forget (Sched): frame may self-reschedule in place
 }
 
 // heapNode is one calendar/heap slot: the (at, seq) sort key inlined next
@@ -81,8 +83,11 @@ type Engine struct {
 	// at least a full ring span past the cursor; migrate moves them into
 	// the ring as the cursor approaches.
 	overflow []heapNode
-	now      units.Time
-	seq      uint64
+	now         units.Time
+	curSched    units.Time // schedule time of the currently-firing event
+	curSchedCtx units.Time // schedule time of the event that scheduled the firing one
+	seq         uint64
+	seed     int64
 	rng      *rand.Rand
 	stopped  bool
 	fired    uint64
@@ -114,11 +119,37 @@ func NewEngine(seed int64) *Engine {
 	for i := range ring {
 		ring[i] = backing[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
 	}
-	return &Engine{rng: rand.New(rand.NewSource(seed)), ring: ring}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed)), ring: ring}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
+
+// Seed returns the seed the engine was built with. Components that keep
+// private positional random streams (per-port jitter, see internal/xrand)
+// derive their stream seeds from it so a (config, seed) pair still pins
+// every draw in the simulation.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// CurSchedAt returns the simulated time at which the currently-firing event
+// was scheduled (0 outside Run). Because the sequence counter increases
+// monotonically through simulated time, an event scheduled at an earlier
+// instant always carries a lower tie-break seq: comparing schedule times
+// decides which of two events firing at the same instant runs first, except
+// when both were scheduled within the same instant. Lazy components use this
+// to replay the exact fire order their per-event counterparts would have had.
+func (e *Engine) CurSchedAt() units.Time { return e.curSched }
+
+// CurSchedCtx returns the schedule time of the event that scheduled the
+// currently-firing event (0 outside Run or for events scheduled during
+// setup). It resolves one more level of the tie CurSchedAt leaves open: when
+// two events firing at the same instant were also scheduled at the same
+// instant, their relative seq order is decided by which of their *parent*
+// events ran first within that instant — and parents, firing at one instant,
+// are themselves ordered by schedule time. Lazy components compare
+// (CurSchedAt, CurSchedCtx) lexicographically to replay per-event fire order
+// through two levels of same-instant scheduling.
+func (e *Engine) CurSchedCtx() units.Time { return e.curSchedCtx }
 
 // Rand returns the engine's deterministic random source. All simulation
 // components must draw randomness from here and nowhere else.
@@ -292,6 +323,8 @@ func (e *Engine) schedule(t units.Time, fn Handler, chain bool) *event {
 		ev = e.alloc()
 	}
 	ev.at, ev.seq, ev.fn, ev.chain = t, e.seq, fn, chain
+	ev.schedAt = e.now
+	ev.schedCtx = e.curSched
 	e.seq++
 	b := int64(t) >> bucketShift
 	if b < e.curB {
@@ -444,6 +477,8 @@ func (e *Engine) Run(until units.Time) units.Time {
 		e.ringCnt--
 		e.live--
 		e.now = mAt
+		e.curSched = ev.schedAt
+		e.curSchedCtx = ev.schedCtx
 		e.fired++
 		fn := ev.fn
 		if ev.chain {
