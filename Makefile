@@ -34,7 +34,7 @@ bench: bench-obs
 # the hot loop is tracked in-repo. Sweep benches run a whole experiment per
 # iteration, hence -benchtime=1x for that pass.
 bench-core:
-	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem -benchtime 1s . && \
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkRegistry' -benchmem -benchtime 1s . && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem -benchtime 1x . ; } \
 	  | $(GO) run ./cmd/benchjson -out BENCH_core.json
 	@echo "BENCH_core.json:" && cat BENCH_core.json
@@ -60,9 +60,10 @@ bench-run:
 # Apply the CI perf gates to the committed benchmark blobs: the core
 # cancel-churn delta must hold its >=20% win, whole-run pkts/s may not
 # regress more than 10% against the sticky baseline, and the per-packet
-# datapath benches must stay alloc-free. Same invocations CI runs.
+# datapath and metrics-registry benches must stay alloc-free. Same
+# invocations CI runs.
 bench-gate:
-	$(GO) run ./cmd/benchgate -min-improve 20 -zero-alloc BenchmarkEngine BENCH_core.json
+	$(GO) run ./cmd/benchgate -min-improve 20 -zero-alloc BenchmarkEngine -zero-alloc BenchmarkRegistry BENCH_core.json
 	$(GO) run ./cmd/benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
 
 # Fold the per-suite blobs into BENCH.json, keyed by git revision, so the

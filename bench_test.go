@@ -24,6 +24,7 @@ import (
 	"vertigo/internal/fabric"
 	"vertigo/internal/host"
 	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
 	"vertigo/internal/sim/baseline"
@@ -437,6 +438,26 @@ func BenchmarkEngineFanout(b *testing.B) {
 	}
 	b.StopTimer()
 	reportEventsPerSec(b, eng)
+}
+
+// BenchmarkRegistryHotPath pins the introspection plane's hot-path cost:
+// counter, gauge, histogram and labeled-counter bumps must stay at 0
+// allocs/op (gated by cmd/benchgate) so instrumentation can ride per-packet
+// paths without perturbing the simulator's zero-alloc guarantees.
+func BenchmarkRegistryHotPath(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_events_total", "")
+	g := r.Gauge("bench_pending", "")
+	h := r.Histogram("bench_fct_ns", "")
+	v := r.CounterVec("bench_drops_total", "", "reason", "overflow", "fault")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(int64(i)<<7 + 3)
+		v.At(i & 1).Inc()
+	}
 }
 
 func reportEventsPerSec(b *testing.B, eng *sim.Engine) {

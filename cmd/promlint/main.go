@@ -1,0 +1,51 @@
+// Command promlint validates Prometheus text exposition format (0.0.4) read
+// from stdin or the files given as arguments. It is the CI gate behind the
+// introspection smoke job: a malformed /metrics scrape — missing HELP/TYPE,
+// non-cumulative histogram buckets, a bucket stream without le="+Inf" —
+// exits non-zero with one line per violation.
+//
+// Usage:
+//
+//	curl -s localhost:9464/metrics | promlint
+//	promlint scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vertigo/internal/obs"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		os.Exit(lint("<stdin>", os.Stdin))
+	}
+	code := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			code = 1
+			continue
+		}
+		if lint(path, f) != 0 {
+			code = 1
+		}
+		f.Close()
+	}
+	os.Exit(code)
+}
+
+func lint(name string, r io.Reader) int {
+	errs := obs.LintProm(r)
+	for _, err := range errs {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+	}
+	if len(errs) > 0 {
+		return 1
+	}
+	return 0
+}

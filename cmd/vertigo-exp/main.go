@@ -32,6 +32,8 @@ import (
 
 	"vertigo/internal/exp"
 	"vertigo/internal/faults"
+	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 	"vertigo/internal/units"
 )
 
@@ -61,6 +63,10 @@ func realMain() error {
 		healDelay  = flag.Duration("heal-delay", 0, "control-plane healing delay after each -fault topology change (0 = healing off)")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run; an over-budget run fails its row (0 = unlimited)")
 		trainLen   = flag.Int("train", -1, "dataplane packet-train length override: 0 = per-packet engine, >=2 = coalesce; -1 keeps the default (results are identical at any value)")
+
+		debugAddr = flag.String("debug-addr", "", "serve the introspection plane on this address, e.g. localhost:9464 (/metrics, /statusz, /healthz, /debug/pprof)")
+		rawSeries = flag.String("raw-series", "auto", "raw FCT/QCT series retention: auto (drop past 200k flows/run), keep, drop (histograms still carry the distributions)")
+		flightLen = flag.Int("flight", 4096, "crash flight recorder ring size per run; a crashed or watchdog-killed run dumps it to -out flight.jsonl (0 = off)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -167,12 +173,34 @@ func realMain() error {
 	exp.HealDelay = units.FromDuration(*healDelay)
 	exp.RunTimeout = *runTimeout
 	exp.TrainLen = *trainLen
+	exp.FlightLen = *flightLen
+	rm, err := metrics.ParseRawMode(*rawSeries)
+	if err != nil {
+		return err
+	}
+	exp.RawMode = rm
 	var rec *exp.Recorder
 	if *outDir != "" {
 		rec = exp.NewRecorder()
 		exp.OnRun = rec.Record
 	}
 	start := time.Now()
+
+	if *debugAddr != "" {
+		status := func() any {
+			return map[string]any{
+				"experiments": ids,
+				"scale":       sc.Name,
+				"concurrency": exp.Concurrency,
+				"start_time":  start.UTC().Format(time.RFC3339),
+			}
+		}
+		addr, err := obs.Serve(*debugAddr, obs.Default, status)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "introspection plane on http://%s/ (metrics, statusz, healthz, pprof)\n", addr)
+	}
 
 	// Experiments are independent deterministic simulations: run up to
 	// -parallel of them concurrently, but print results in request order.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vertigo"
+	"vertigo/internal/obs"
 )
 
 func main() {
@@ -46,8 +47,24 @@ func main() {
 		telemetry = flag.Bool("telemetry", false, "print the per-port monitoring report (§5)")
 		pktTrace  = flag.String("packet-trace", "", "write a per-event dataplane trace to this file")
 		traceFlow = flag.Uint64("packet-trace-flow", 0, "flow ID to trace (0 = all flows)")
+		debugAddr = flag.String("debug-addr", "", "serve the introspection plane on this address, e.g. localhost:9464 (/metrics, /statusz, /healthz, /debug/pprof)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		status := func() any {
+			return map[string]any{
+				"scheme": *scheme, "transport": *transport, "topology": *topology,
+				"duration": duration.String(), "seed": *seed,
+			}
+		}
+		addr, err := obs.Serve(*debugAddr, obs.Default, status)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vertigo-sim: debug server:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "introspection plane on http://%s/ (metrics, statusz, healthz, pprof)\n", addr)
+	}
 
 	cfg := vertigo.Defaults(vertigo.Scheme(*scheme), vertigo.Transport(*transport))
 	cfg.Seed = *seed

@@ -14,6 +14,7 @@ import (
 	"vertigo/internal/faults"
 	"vertigo/internal/host"
 	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
 	"vertigo/internal/telemetry"
@@ -106,6 +107,18 @@ type Config struct {
 	// WallTimeout, when positive, bounds the run's real elapsed time; a run
 	// that exceeds it aborts with an error rather than hanging its worker.
 	WallTimeout time.Duration
+
+	// Flight, when non-nil, attaches a crash flight recorder to the engine:
+	// recent events, drops and fault transitions land in its ring, and the
+	// crash-safe sweep runner dumps it to flight.jsonl when the run panics
+	// or the watchdog kills it. The caller owns the recorder so its contents
+	// survive a panic unwinding out of Run.
+	Flight *obs.FlightRecorder
+
+	// RawSeries controls whether the Summary keeps raw FCT/QCT slices next
+	// to the histograms; the zero value (metrics.RawAuto) keeps them for
+	// runs up to metrics.RawAutoMaxFlows started flows.
+	RawSeries metrics.RawMode
 }
 
 // LinkFailure kills one topology link at a point in simulated time.
@@ -257,7 +270,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetFlight(cfg.Flight)
 	met := metrics.NewCollector()
+	met.RawSeries = cfg.RawSeries
 	net := fabric.New(eng, t, met, cfg.Fabric)
 	ids := &packet.IDGen{}
 
@@ -361,6 +376,8 @@ func Run(cfg Config) (*Result, error) {
 		eng.SetWallDeadline(cfg.WallTimeout)
 	}
 	end := eng.Run(cfg.SimTime)
+	eng.FinishObs()
+	net.Pool().PublishObs()
 	if eng.DeadlineExceeded() {
 		return nil, fmt.Errorf("core: run exceeded its %v wall-clock budget at t=%v (%d events fired)",
 			cfg.WallTimeout, end, eng.Events())

@@ -72,6 +72,7 @@ type Recorder struct {
 	failed  []RunRecord
 	samples []labeledBytes
 	trace   []labeledBytes
+	flight  []labeledBytes
 }
 
 // labeledBytes is one run's slice of a shared artifact file. Runs complete
@@ -92,6 +93,12 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Record(info RunInfo) {
 	if info.Err != "" {
 		r.failed = append(r.failed, RunRecord{Label: info.Label, Error: info.Err})
+		if len(info.Flight) > 0 {
+			var b bytes.Buffer
+			fmt.Fprintf(&b, "{\"run_start\":%q}\n", info.Label)
+			b.Write(info.Flight)
+			r.flight = append(r.flight, labeledBytes{info.Label, b.Bytes()})
+		}
 		return
 	}
 	r.runs = append(r.runs, RunRecord{
@@ -141,6 +148,20 @@ func (r *Recorder) TraceJSONL() []byte {
 	}
 	var b bytes.Buffer
 	for _, s := range sortedSections(r.trace) {
+		b.Write(s.data)
+	}
+	return b.Bytes()
+}
+
+// FlightJSONL assembles the flight.jsonl artifact: each failed run's crash
+// flight-recorder dump behind its run_start boundary line, in label order.
+// Empty when every run succeeded (or the recorder was disabled).
+func (r *Recorder) FlightJSONL() []byte {
+	if len(r.flight) == 0 {
+		return nil
+	}
+	var b bytes.Buffer
+	for _, s := range sortedSections(r.flight) {
 		b.Write(s.data)
 	}
 	return b.Bytes()
@@ -235,6 +256,11 @@ func WriteArtifacts(dir string, m Manifest, tables []*Table, rec *Recorder) erro
 	}
 	if tr := rec.TraceJSONL(); len(tr) > 0 {
 		if err := os.WriteFile(filepath.Join(dir, "trace.jsonl"), tr, 0o644); err != nil {
+			return err
+		}
+	}
+	if fl := rec.FlightJSONL(); len(fl) > 0 {
+		if err := os.WriteFile(filepath.Join(dir, "flight.jsonl"), fl, 0o644); err != nil {
 			return err
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"vertigo/internal/fabric"
 	"vertigo/internal/faults"
 	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
 	"vertigo/internal/telemetry"
@@ -196,6 +197,24 @@ var RunTimeout time.Duration
 // train identity tests.
 var TrainLen = -1
 
+// RawMode, when not RawAuto, overrides every run's raw-series retention (the
+// -raw-series CLI flag): keep forces exact percentiles at any scale, drop
+// exercises the histogram fallback everywhere.
+var RawMode metrics.RawMode
+
+// FlightLen is the per-run crash flight recorder's ring size: the last
+// FlightLen dataplane records (events, drops, faults) are dumped to
+// flight.jsonl when a run panics or the wall-clock watchdog kills it
+// (-flight). 0 disables the recorder.
+var FlightLen = 4096
+
+// Process-global sweep metrics: scrape-visible run progress.
+var (
+	obsRunsStarted   = obs.NewCounter("vertigo_exp_runs_started_total", "experiment runs started")
+	obsRunsCompleted = obs.NewCounter("vertigo_exp_runs_completed_total", "experiment runs completed")
+	obsRunsFailed    = obs.NewCounter("vertigo_exp_runs_failed_total", "experiment runs failed (error or panic)")
+)
+
 // RunInfo is the per-run instrumentation handed to OnRun. A failed run
 // (error or panic) delivers only Label and Err; everything else is zero.
 type RunInfo struct {
@@ -207,6 +226,9 @@ type RunInfo struct {
 	Trace   []byte             // JSONL packet trace; empty unless TraceFlow > 0
 	Wall    time.Duration
 	Err     string // non-empty when the run failed
+	// Flight is the crash flight recorder's JSONL dump: what the run was
+	// doing when it died. Only failed runs carry one.
+	Flight []byte
 }
 
 // EventsPerSec is the run's simulation throughput in events per wall second.
@@ -301,17 +323,31 @@ func withLoads(cfg core.Config, bg, total float64) core.Config {
 	return cfg
 }
 
-// reportFailure emits a failed run's progress line and OnRun record, under
-// the same lock as successful runs so lines never interleave.
-func reportFailure(label string, err error) {
+// reportFailure emits a failed run's progress line and OnRun record — with
+// the flight recorder's dump attached — under the same lock as successful
+// runs so lines never interleave.
+func reportFailure(label string, err error, fr *obs.FlightRecorder) {
+	obsRunsFailed.Inc()
 	progressMu.Lock()
 	defer progressMu.Unlock()
 	if Progress != nil {
 		Progress("%-40s FAILED: %s", label, firstLine(err.Error()))
 	}
 	if OnRun != nil {
-		OnRun(RunInfo{Label: label, Err: err.Error()})
+		OnRun(RunInfo{Label: label, Err: err.Error(), Flight: flightDump(fr)})
 	}
+}
+
+// flightDump renders a flight recorder's ring as JSONL, or nil when nothing
+// was recorded (runs that die before their first event still carry the
+// watchdog or panic context their recorder captured).
+func flightDump(fr *obs.FlightRecorder) []byte {
+	if fr == nil || fr.Len() == 0 {
+		return nil
+	}
+	var b bytes.Buffer
+	_ = fr.DumpJSONL(&b) // bytes.Buffer writes cannot fail
+	return b.Bytes()
 }
 
 // run executes one scenario, reporting progress and instrumentation.
@@ -331,6 +367,15 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 	if TrainLen >= 0 {
 		cfg.Fabric.TrainLen = TrainLen
 	}
+	if RawMode != metrics.RawAuto && cfg.RawSeries == metrics.RawAuto {
+		cfg.RawSeries = RawMode
+	}
+	if cfg.Flight == nil && FlightLen > 0 {
+		// safeRun normally pre-attaches the recorder (so panics can dump
+		// it); this covers direct callers, where only the error path needs
+		// one.
+		cfg.Flight = obs.NewFlightRecorder(FlightLen)
+	}
 	var traceBuf *bytes.Buffer
 	if TraceFlow > 0 && cfg.PacketTrace == nil {
 		traceBuf = &bytes.Buffer{}
@@ -338,13 +383,15 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 		cfg.PacketTraceFlow = TraceFlow
 		cfg.PacketTraceJSON = true
 	}
+	obsRunsStarted.Inc()
 	start := time.Now()
 	res, err := core.Run(cfg)
 	if err != nil {
 		err = fmt.Errorf("exp: %s: %w", label, err)
-		reportFailure(label, err)
+		reportFailure(label, err, cfg.Flight)
 		return nil, nil, err
 	}
+	obsRunsCompleted.Inc()
 	info := RunInfo{
 		Label:   label,
 		Summary: res.Summary,

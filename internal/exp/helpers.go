@@ -6,11 +6,13 @@ import (
 )
 
 // pTime returns the p-th percentile of a summary's query completion times.
+// Exact when the raw series was kept, histogram-resolution otherwise (see
+// metrics.RawMode).
 func pTime(s *metrics.Summary, p float64) units.Time {
-	return metrics.Percentile(s.QCTs, p)
+	return s.QCTPercentile(p)
 }
 
 // pFCT returns the p-th percentile of a summary's flow completion times.
 func pFCT(s *metrics.Summary, p float64) units.Time {
-	return metrics.Percentile(s.FCTs, p)
+	return s.FCTPercentile(p)
 }

@@ -10,6 +10,7 @@ import (
 
 	"vertigo/internal/core"
 	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 )
 
 // Concurrency is the number of simulations experiment drivers run at once.
@@ -53,12 +54,18 @@ func (sw *sweep) add(label string, cfg core.Config, render func(*metrics.Summary
 
 // safeRun executes one scenario, converting a panic into an ordinary error
 // so a crashing run fails its own row instead of killing the worker pool
-// (or, sequentially, the whole batch).
+// (or, sequentially, the whole batch). It pre-attaches the crash flight
+// recorder: created here, outside the run, so its ring survives the panic
+// unwinding out of core.Run and the failure report can dump what the dying
+// run was doing.
 func safeRun(label string, cfg core.Config) (sum *metrics.Summary, col *metrics.Collector, err error) {
+	if cfg.Flight == nil && FlightLen > 0 {
+		cfg.Flight = obs.NewFlightRecorder(FlightLen)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("exp: %s: panic: %v\n%s", label, r, debug.Stack())
-			reportFailure(label, err)
+			reportFailure(label, err, cfg.Flight)
 		}
 	}()
 	return runFn(label, cfg)

@@ -10,6 +10,7 @@ import (
 	"vertigo/internal/buffer"
 	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
+	"vertigo/internal/obs"
 	"vertigo/internal/packet"
 	"vertigo/internal/sim"
 	"vertigo/internal/telemetry"
@@ -389,6 +390,7 @@ func (n *Network) Send(p *packet.Packet) {
 	nic := n.hostNIC[p.Src]
 	nic.sync(n.Eng.Now())
 	nic.q.Push(p)
+	obsQueueDepth.Observe(int64(nic.q.Bytes()))
 	if n.obs != nil {
 		n.obs.Enqueue(nic.sw, nic.idx, p, nic.q.Bytes())
 	}
@@ -461,6 +463,7 @@ func (n *Network) setLinkState(li int, up bool) {
 	if up {
 		if since := n.linkDownSince[li]; since >= 0 {
 			n.Met.Recovered(now - since)
+			obsTTR.Observe(int64(now - since))
 			n.linkDownSince[li] = -1
 		}
 	} else if n.linkDownSince[li] < 0 {
@@ -566,6 +569,7 @@ func (n *Network) SetLinkRateFactor(li int, factor float64) {
 func (n *Network) InstallFIB(fib [][][]int) {
 	n.fib = fib
 	n.Met.FIBInstalls++
+	obsFIBInstalls.Inc()
 	n.emitFault(telemetry.FaultEvent{
 		Time: n.Eng.Now(), Kind: telemetry.FaultFIBHeal, Link: -1, Switch: -1,
 	})
@@ -604,6 +608,8 @@ func (n *Network) linkPorts(li int) [2]*Port {
 // observer that implements telemetry.FaultObserver.
 func (n *Network) emitFault(ev telemetry.FaultEvent) {
 	n.Met.FaultEvents++
+	obsFaultEvents.Inc()
+	n.Eng.Flight().Record(obs.FlightFault, int64(ev.Time), int64(ev.Kind), int64(ev.Link), int64(ev.Switch))
 	if fo, ok := n.obs.(telemetry.FaultObserver); ok {
 		fo.Fault(ev)
 	}
@@ -631,7 +637,9 @@ func (n *Network) drop(sw, port int, p *packet.Packet, reason metrics.DropReason
 			cls = metrics.Incast
 		}
 		n.Met.Drop(reason, cls)
+		obsDrops.At(int(reason)).Inc()
 	}
+	n.Eng.Flight().Record(obs.FlightDrop, int64(n.Eng.Now()), int64(reason), int64(sw), int64(port))
 	if n.obs != nil {
 		n.obs.Drop(sw, port, p, reason)
 	}
@@ -947,6 +955,7 @@ func (pt *Port) invalidate() {
 		pt.planTarget >>= 1
 	}
 	pt.net.trainInvals++
+	obsTrainInvals.Inc()
 }
 
 // unconsumeDraws pushes jits — the plan's uncommitted jitter values, which
@@ -1141,6 +1150,8 @@ func (pt *Port) plan(now, vs, vc units.Time) {
 	pt.rearmArrive()
 	pt.net.trainsPlanned++
 	pt.net.trainSegs += uint64(n)
+	obsTrains.Inc()
+	obsTrainSegs.Add(uint64(n))
 }
 
 // sendOne is the per-packet path: used when trains are disabled or stood
@@ -1273,6 +1284,7 @@ func (s *Switch) enqueue(i int, p *packet.Packet) bool {
 	if port.planHead < port.planN && port.sorted != nil && p.Rank() < port.planMaxRank {
 		port.invalidate()
 	}
+	obsQueueDepth.Observe(int64(port.q.Bytes()))
 	s.markECN(port, p)
 	if o := s.net.obs; o != nil {
 		o.Enqueue(s.id, i, p, port.q.Bytes())
@@ -1286,6 +1298,7 @@ func (s *Switch) markECN(port *Port, p *packet.Packet) {
 	if k > 0 && p.ECNCapable && port.q.Len() >= k {
 		p.CE = true
 		s.net.Met.ECNMarks++
+		obsECNMarks.Inc()
 	}
 }
 

@@ -1,0 +1,40 @@
+package fabric
+
+import "vertigo/internal/obs"
+
+// Process-global fabric metrics. Drops, deflections, faults and train
+// bookkeeping are rare relative to per-packet work, so they bump the
+// registry directly at the event site; queue depth is the one per-packet
+// signal and is a histogram observation (three atomic adds) at the two
+// enqueue chokepoints — the occupancy *distribution* is what distinguishes
+// buffer regimes, not its mean.
+var (
+	obsDrops = obs.NewCounterVec("vertigo_fabric_drops_total",
+		"data packets dropped, by reason", "reason",
+		"overflow", "deflect-full", "ttl", "link-down", "corrupt", "other")
+	obsDeflections = obs.NewCounter("vertigo_fabric_deflections_total",
+		"packets deflected to an alternate port")
+	obsECNMarks = obs.NewCounter("vertigo_fabric_ecn_marks_total",
+		"packets CE-marked at enqueue")
+	obsQueueDepth = obs.NewHistogram("vertigo_fabric_queue_depth_bytes",
+		"egress queue occupancy observed after each enqueue")
+	obsTrains = obs.NewCounter("vertigo_fabric_trains_planned_total",
+		"packet trains planned by egress ports")
+	obsTrainSegs = obs.NewCounter("vertigo_fabric_train_segments_total",
+		"segments committed into planned trains")
+	obsTrainInvals = obs.NewCounter("vertigo_fabric_train_invalidations_total",
+		"planned trains abandoned before their end event")
+	obsFaultEvents = obs.NewCounter("vertigo_fault_events_total",
+		"fault transitions applied to the fabric")
+	obsFIBInstalls = obs.NewCounter("vertigo_fault_fib_installs_total",
+		"control-plane healing FIB swaps")
+	obsTTR = obs.NewHistogram("vertigo_fault_ttr_ns",
+		"carrier-loss duration of recovered links")
+)
+
+// noteDeflect accounts one deflection in both the per-run collector and the
+// process-global registry.
+func (n *Network) noteDeflect() {
+	n.Met.Deflections++
+	obsDeflections.Inc()
+}

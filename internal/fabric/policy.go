@@ -103,7 +103,7 @@ func (s *Switch) routeDIBS(p *packet.Packet) {
 		set[j] = set[n-1]
 		if !s.ports[port].down && s.ports[port].fitsNow(p.Size()) {
 			p.Deflections++
-			s.net.Met.Deflections++
+			s.net.noteDeflect()
 			if o := s.net.obs; o != nil {
 				o.Deflect(s.id, i, port, p)
 			}
@@ -203,7 +203,7 @@ func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
 	i := s.pickPowerOfN(set, s.net.Cfg.DeflChoices)
 	if !s.ports[i].down && s.ports[i].fitsNow(victim.Size()) {
 		victim.Deflections++
-		s.net.Met.Deflections++
+		s.net.noteDeflect()
 		if o := s.net.obs; o != nil {
 			o.Deflect(s.id, origin, i, victim)
 		}
@@ -215,7 +215,7 @@ func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
 	if sq := s.ports[i].sorted; sq != nil && !s.ports[i].down {
 		s.ports[i].settle()
 		victim.Deflections++
-		s.net.Met.Deflections++
+		s.net.noteDeflect()
 		if o := s.net.obs; o != nil {
 			o.Deflect(s.id, origin, i, victim)
 		}

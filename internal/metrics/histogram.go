@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"vertigo/internal/units"
 )
 
 // Histogram is a log-bucketed histogram of non-negative int64 observations
@@ -124,6 +126,40 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.Max()
+}
+
+// CDF returns the histogram's cumulative distribution as one point per
+// non-empty bucket (at most maxPoints, downsampled evenly when the grid has
+// more), each point's Value being the bucket's inclusive upper bound clamped
+// to the observed max. Nil-safe: a nil or empty histogram returns nil. This
+// is the figure-path fallback when the raw series was dropped — resolution
+// is the factor-of-two bucket width instead of per-sample.
+func (h *Histogram) CDF(maxPoints int) []CDFPoint {
+	if h == nil || h.total == 0 || maxPoints <= 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		v := BucketHigh(i)
+		if v > h.max {
+			v = h.max
+		}
+		pts = append(pts, CDFPoint{Value: units.Time(v), Fraction: float64(seen) / float64(h.total)})
+	}
+	if len(pts) <= maxPoints {
+		return pts
+	}
+	// Downsample evenly, always keeping the final (fraction 1) point.
+	out := make([]CDFPoint, 0, maxPoints)
+	for i := 1; i <= maxPoints; i++ {
+		out = append(out, pts[i*len(pts)/maxPoints-1])
+	}
+	return out
 }
 
 // Merge folds other into h.

@@ -93,6 +93,10 @@ func (q *QueryRecord) QCT() units.Time { return q.End - q.Start }
 // Collector accumulates events during a run. It is not safe for concurrent
 // use; the simulator is single-threaded by design.
 type Collector struct {
+	// RawSeries controls whether Summarize keeps raw FCT/QCT slices on the
+	// Summary (see RawMode); the zero value is RawAuto.
+	RawSeries RawMode
+
 	Flows   []FlowRecord
 	Queries []QueryRecord
 	// flowIdx maps flow ID -> index into Flows. Flow IDs come from the
@@ -133,6 +137,7 @@ func (c *Collector) StartFlow(rec FlowRecord) {
 	v, _ := c.flowIdx.Put(rec.ID)
 	*v = int32(len(c.Flows))
 	c.Flows = append(c.Flows, rec)
+	obsFlowsStarted.Inc()
 }
 
 // EndFlow marks a flow complete at time t.
@@ -147,12 +152,16 @@ func (c *Collector) EndFlow(id uint64, t units.Time) {
 	}
 	f.End = t
 	f.Completed = true
+	obsFlowsCompleted.Inc()
+	obsFCT.Observe(int64(t - f.Start))
 	if f.Query >= 0 {
 		q := &c.Queries[f.Query]
 		q.Remaining--
 		if q.Remaining == 0 {
 			q.End = t
 			q.Completed = true
+			obsQueriesCompleted.Inc()
+			obsQCT.Observe(int64(t - q.Start))
 		}
 	}
 }
@@ -174,6 +183,7 @@ func (c *Collector) Flow(id uint64) *FlowRecord {
 func (c *Collector) StartQuery(scale int, t units.Time) int {
 	id := len(c.Queries)
 	c.Queries = append(c.Queries, QueryRecord{ID: id, Scale: scale, Start: t, Remaining: scale})
+	obsQueriesStarted.Inc()
 	return id
 }
 

@@ -1,0 +1,16 @@
+package metrics
+
+import "vertigo/internal/obs"
+
+// Process-global workload metrics, bumped by every collector in the process.
+// Flow and query lifecycle events are rare next to per-packet work, so they
+// hit the registry directly; the FCT/QCT histograms give a live scrape the
+// same log-2 distribution shape the end-of-run Summary histograms carry.
+var (
+	obsFlowsStarted     = obs.NewCounter("vertigo_workload_flows_started_total", "flows registered by collectors")
+	obsFlowsCompleted   = obs.NewCounter("vertigo_workload_flows_completed_total", "flows completed")
+	obsQueriesStarted   = obs.NewCounter("vertigo_workload_queries_started_total", "incast queries started")
+	obsQueriesCompleted = obs.NewCounter("vertigo_workload_queries_completed_total", "incast queries fully answered")
+	obsFCT              = obs.NewHistogram("vertigo_workload_fct_ns", "flow completion times")
+	obsQCT              = obs.NewHistogram("vertigo_workload_qct_ns", "query completion times")
+)

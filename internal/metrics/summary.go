@@ -71,9 +71,54 @@ type Summary struct {
 	FCTHist *Histogram `json:"fct_hist,omitempty"`
 	QCTHist *Histogram `json:"qct_hist,omitempty"`
 
-	// Raw series kept for CDF figures.
+	// Raw series kept for CDF figures. Optional: the collector's RawSeries
+	// mode drops them for large runs (see RawMode), in which case
+	// FCTPercentile/QCTPercentile and CDF figures read the histograms.
 	FCTs []units.Time `json:"fcts_ns,omitempty"`
 	QCTs []units.Time `json:"qcts_ns,omitempty"`
+}
+
+// FCTPercentile returns the p-th percentile (0 < p <= 100) of flow
+// completion times: exact from the raw series when kept, otherwise the
+// histogram's nearest-rank bucket bound (factor-of-two resolution).
+func (s *Summary) FCTPercentile(p float64) units.Time {
+	if len(s.FCTs) > 0 {
+		return Percentile(s.FCTs, p)
+	}
+	if s.FCTHist != nil {
+		return units.Time(s.FCTHist.Quantile(p / 100))
+	}
+	return 0
+}
+
+// QCTPercentile returns the p-th percentile of query completion times; see
+// FCTPercentile for raw-vs-histogram resolution.
+func (s *Summary) QCTPercentile(p float64) units.Time {
+	if len(s.QCTs) > 0 {
+		return Percentile(s.QCTs, p)
+	}
+	if s.QCTHist != nil {
+		return units.Time(s.QCTHist.Quantile(p / 100))
+	}
+	return 0
+}
+
+// FCTCDF returns up to maxPoints of the flow-completion-time CDF: the
+// empirical CDF when the raw series is kept, the histogram CDF otherwise.
+func (s *Summary) FCTCDF(maxPoints int) []CDFPoint {
+	if len(s.FCTs) > 0 {
+		return CDF(s.FCTs, maxPoints)
+	}
+	return s.FCTHist.CDF(maxPoints)
+}
+
+// QCTCDF returns up to maxPoints of the query-completion-time CDF; see
+// FCTCDF.
+func (s *Summary) QCTCDF(maxPoints int) []CDFPoint {
+	if len(s.QCTs) > 0 {
+		return CDF(s.QCTs, maxPoints)
+	}
+	return s.QCTHist.CDF(maxPoints)
 }
 
 // Summarize digests the collector at simulation end time end.
@@ -158,6 +203,13 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 		// Computed in floating point: 8*bytes*1e9 overflows int64 beyond
 		// ~1.1 GB of goodput.
 		s.OverallGoodput = units.BitRate(8 * float64(c.BytesGoodput) / end.Seconds())
+	}
+	// The scalars above were computed from the raw series (exact); past this
+	// point the histograms are the distribution of record if the mode drops
+	// the raw slices. The cut is on flows started — a configuration-time
+	// quantity — so it cannot flip on completion behaviour.
+	if !c.RawSeries.keepRaw(s.FlowsStarted) {
+		s.FCTs, s.QCTs = nil, nil
 	}
 	return s
 }

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// FlightKind classifies flight-recorder records.
+type FlightKind uint8
+
+// Flight record kinds. Each kind names its three payload fields; see
+// flightFields.
+const (
+	// FlightEvent is one fired simulation event: a=schedule time (ns),
+	// b=live pending events after the pop, c=engine sequence number.
+	FlightEvent FlightKind = iota
+	// FlightDrop is one fabric packet drop: a=drop reason
+	// (metrics.DropReason numbering), b=switch (-1 for a host NIC), c=port.
+	FlightDrop
+	// FlightFault is one injected fault transition: a=fault kind
+	// (faults.Kind numbering), b=link (-1 if none), c=switch (-1 if none).
+	FlightFault
+	// FlightWatchdog marks the wall-clock watchdog aborting the run:
+	// a=events fired so far.
+	FlightWatchdog
+	// FlightNote is a free-form record.
+	FlightNote
+	numFlightKinds
+)
+
+var flightKindNames = [numFlightKinds]string{
+	"event", "drop", "fault", "watchdog", "note",
+}
+
+// flightFields names each kind's a/b/c payload in the JSONL dump. An empty
+// name suppresses the field.
+var flightFields = [numFlightKinds][3]string{
+	FlightEvent:    {"sched_ns", "pending", "seq"},
+	FlightDrop:     {"reason", "switch", "port"},
+	FlightFault:    {"fault_kind", "link", "switch"},
+	FlightWatchdog: {"events", "", ""},
+	FlightNote:     {"a", "b", "c"},
+}
+
+// FlightRecord is one ring entry: a kind, the simulated time, and three
+// kind-specific int payloads.
+type FlightRecord struct {
+	T       int64 // simulated time, ns
+	A, B, C int64
+	Kind    FlightKind
+}
+
+// FlightRecorder is a fixed-size ring buffer of recent records — a crash
+// flight recorder. Recording is a single struct store into a preallocated
+// ring (no allocation, no locking; each simulation owns its recorder and is
+// single-threaded), so it is cheap enough to leave on for every run. The
+// ring is only read after the run dies: the crash-safe sweep runner dumps
+// it to flight.jsonl when it catches a panic or the wall-clock watchdog
+// fires, turning "the run failed" into "and this is what it was doing".
+//
+// A nil *FlightRecorder is valid and records nothing.
+type FlightRecorder struct {
+	ring []FlightRecord
+	n    uint64 // total records ever written
+}
+
+// NewFlightRecorder returns a recorder keeping the last n records.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		return nil
+	}
+	return &FlightRecorder{ring: make([]FlightRecord, n)}
+}
+
+// Record appends one record, overwriting the oldest once the ring is full.
+func (fr *FlightRecorder) Record(kind FlightKind, t, a, b, c int64) {
+	if fr == nil {
+		return
+	}
+	fr.ring[fr.n%uint64(len(fr.ring))] = FlightRecord{T: t, A: a, B: b, C: c, Kind: kind}
+	fr.n++
+}
+
+// Len returns the number of records currently held (at most the ring size).
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	if fr.n < uint64(len(fr.ring)) {
+		return int(fr.n)
+	}
+	return len(fr.ring)
+}
+
+// Total returns the number of records ever written (including overwritten).
+func (fr *FlightRecorder) Total() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.n
+}
+
+// Records returns the held records, oldest first.
+func (fr *FlightRecorder) Records() []FlightRecord {
+	k := fr.Len()
+	out := make([]FlightRecord, 0, k)
+	if k == 0 {
+		return out
+	}
+	start := fr.n - uint64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, fr.ring[(start+uint64(i))%uint64(len(fr.ring))])
+	}
+	return out
+}
+
+// DumpJSONL writes a header line with the recorder's totals, then one JSON
+// object per held record, oldest first. Field names are per-kind (see the
+// FlightKind constants); enum-coded fields (reason, fault_kind) carry the
+// producing package's numbering, documented there.
+func (fr *FlightRecorder) DumpJSONL(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "{\"flight_total\":%d,\"flight_kept\":%d}\n",
+		fr.Total(), fr.Len()); err != nil {
+		return err
+	}
+	for _, rec := range fr.Records() {
+		kind := FlightNote
+		if rec.Kind < numFlightKinds {
+			kind = rec.Kind
+		}
+		if _, err := fmt.Fprintf(w, "{\"kind\":%q,\"t_ns\":%d", flightKindNames[kind], rec.T); err != nil {
+			return err
+		}
+		names := flightFields[kind]
+		for i, v := range [3]int64{rec.A, rec.B, rec.C} {
+			if names[i] == "" {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, ",%q:%d", names[i], v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one # HELP and # TYPE line per family, then its samples.
+// Families come out sorted by name, series in registration order, so the
+// output is stable across scrapes modulo the values themselves.
+//
+// Histograms are rendered with cumulative le buckets on the registry's
+// log-2 grid plus the mandatory +Inf bucket, _sum and _count. Empty buckets
+// are elided; le edges are still strictly increasing, which is all the
+// format requires.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	// Sorted copy, same order as Snapshot.
+	for i := 1; i < len(fams); i++ {
+		for j := i; j > 0 && fams[j-1].name > fams[j].name; j-- {
+			fams[j-1], fams[j] = fams[j], fams[j-1]
+		}
+	}
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writePromSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, f *family, s *series) error {
+	labels := ""
+	if f.label != "" {
+		// %q escapes quotes, backslashes and newlines exactly as the
+		// exposition format requires.
+		labels = fmt.Sprintf("{%s=%q}", f.label, s.labelValue)
+	}
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.c.Value())
+		return err
+	case KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.g.Value())
+		return err
+	default:
+		snap := s.h.Snapshot()
+		var cum uint64
+		for _, b := range snap.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", f.name, b.High, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, snap.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", f.name, snap.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, snap.Count)
+		return err
+	}
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates Prometheus text exposition format (version 0.0.4) and
+// returns every violation found, or nil when the input is clean. It is the
+// in-repo scrape validator: the CI smoke job and the scrape tests pipe
+// /metrics output through it so a malformed family fails loudly instead of
+// silently breaking a collector.
+//
+// Checked per family:
+//   - # HELP and # TYPE precede the samples, TYPE names a known metric type
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - sample values parse as Go floats (integers included)
+//   - families are contiguous, never interleaved
+//   - histograms carry _sum and _count, bucket counts are cumulative and
+//     end with le="+Inf" equal to _count
+func LintProm(r io.Reader) []error {
+	l := &promLinter{seen: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		l.line(n, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.errs = append(l.errs, fmt.Errorf("reading input: %w", err))
+	}
+	l.closeFamily()
+	return l.errs
+}
+
+type promLinter struct {
+	errs []error
+	seen map[string]bool // family base names already closed
+
+	cur     string // family currently open ("" = none)
+	typ     string // its TYPE
+	hasHelp bool
+	hasType bool
+
+	// histogram state
+	bucketPrev float64 // last cumulative bucket count
+	infCount   float64 // count at le="+Inf", NaN until seen
+	sumSeen    bool
+	countSeen  bool
+	countVal   float64
+}
+
+func (l *promLinter) errf(n int, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: "+format, append([]any{n}, args...)...))
+}
+
+func (l *promLinter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.SplitN(s, " ", 4)
+		if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+			// Plain comments are legal; only HELP/TYPE carry structure.
+			return
+		}
+		name := fields[2]
+		if !validMetricName(name) {
+			l.errf(n, "invalid metric name %q in %s line", name, fields[1])
+			return
+		}
+		if name != l.cur {
+			l.openFamily(n, name)
+		}
+		switch fields[1] {
+		case "HELP":
+			if l.hasHelp {
+				l.errf(n, "duplicate HELP for %s", name)
+			}
+			l.hasHelp = true
+		case "TYPE":
+			if l.hasType {
+				l.errf(n, "duplicate TYPE for %s", name)
+			}
+			l.hasType = true
+			if len(fields) < 4 {
+				l.errf(n, "TYPE line for %s missing a type", name)
+				return
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				l.typ = fields[3]
+			default:
+				l.errf(n, "unknown metric type %q for %s", fields[3], name)
+			}
+		}
+		return
+	}
+
+	// Sample line: name[{labels}] value [timestamp]
+	name, labels, rest, ok := splitSample(s)
+	if !ok {
+		l.errf(n, "malformed sample line %q", s)
+		return
+	}
+	if !validMetricName(name) {
+		l.errf(n, "invalid metric name %q", name)
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		l.errf(n, "sample for %s needs a value (and at most a timestamp), got %q", name, rest)
+		return
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		l.errf(n, "sample value %q for %s is not a float", fields[0], name)
+		return
+	}
+
+	base := baseName(name)
+	if base != l.cur {
+		// Untyped samples without HELP/TYPE are legal per the format, but
+		// this repo always emits headers — flag the stray family.
+		l.openFamily(n, base)
+		l.errf(n, "sample for %s before its # HELP/# TYPE header", name)
+	}
+	if l.typ == "histogram" {
+		l.histogramSample(n, name, labels, val)
+	}
+}
+
+// histogramSample tracks cumulative-bucket and _sum/_count invariants.
+func (l *promLinter) histogramSample(n int, name, labels string, val float64) {
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := labelValue(labels, "le")
+		if le == "" {
+			l.errf(n, "%s missing le label", name)
+			return
+		}
+		if val+1e-9 < l.bucketPrev {
+			l.errf(n, "%s{le=%q} = %g not cumulative (previous bucket %g)", name, le, val, l.bucketPrev)
+		}
+		l.bucketPrev = val
+		if le == "+Inf" {
+			l.infCount = val
+		}
+	case strings.HasSuffix(name, "_sum"):
+		l.sumSeen = true
+	case strings.HasSuffix(name, "_count"):
+		l.countSeen = true
+		l.countVal = val
+	default:
+		l.errf(n, "unexpected histogram sample %s (want _bucket/_sum/_count)", name)
+	}
+}
+
+func (l *promLinter) openFamily(n int, name string) {
+	l.closeFamily()
+	if l.seen[name] {
+		l.errf(n, "family %s interleaved: already closed earlier in the stream", name)
+	}
+	l.cur, l.typ = name, ""
+	l.hasHelp, l.hasType = false, false
+	l.bucketPrev, l.infCount = 0, math.NaN()
+	l.sumSeen, l.countSeen, l.countVal = false, false, 0
+}
+
+func (l *promLinter) closeFamily() {
+	if l.cur == "" {
+		return
+	}
+	if !l.hasHelp {
+		l.errs = append(l.errs, fmt.Errorf("family %s has no # HELP", l.cur))
+	}
+	if !l.hasType {
+		l.errs = append(l.errs, fmt.Errorf("family %s has no # TYPE", l.cur))
+	}
+	if l.typ == "histogram" {
+		switch {
+		case math.IsNaN(l.infCount):
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", l.cur))
+		case !l.countSeen:
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has no _count", l.cur))
+		case l.infCount != l.countVal:
+			l.errs = append(l.errs, fmt.Errorf("histogram %s: le=\"+Inf\" bucket %g != _count %g", l.cur, l.infCount, l.countVal))
+		}
+		if !l.sumSeen {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has no _sum", l.cur))
+		}
+	}
+	l.seen[l.cur] = true
+	l.cur = ""
+}
+
+// baseName strips the histogram sample suffixes so _bucket/_sum/_count
+// samples group under their family's declared name.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitSample splits `name{labels} value` into its parts. The label block is
+// returned raw (between the braces); quotes inside label values may contain
+// escaped characters, so the closing brace is found quote-aware.
+func splitSample(s string) (name, labels, rest string, ok bool) {
+	brace := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '{' {
+			brace = i
+			break
+		}
+		if c == ' ' {
+			return s[:i], "", s[i+1:], true
+		}
+	}
+	if brace < 0 {
+		return "", "", "", false
+	}
+	name = s[:brace]
+	inQuote := false
+	for i := brace + 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return name, s[brace+1 : i], strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label block.
+func labelValue(labels, key string) string {
+	for len(labels) > 0 {
+		eq := strings.IndexByte(labels, '=')
+		if eq < 0 || eq+1 >= len(labels) || labels[eq+1] != '"' {
+			return ""
+		}
+		k := strings.TrimSpace(labels[:eq])
+		// find closing quote, honouring escapes
+		i := eq + 2
+		var val strings.Builder
+		for i < len(labels) {
+			c := labels[i]
+			if c == '\\' && i+1 < len(labels) {
+				val.WriteByte(labels[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if k == key {
+			return val.String()
+		}
+		labels = labels[i+1:]
+		labels = strings.TrimPrefix(strings.TrimSpace(labels), ",")
+	}
+	return ""
+}

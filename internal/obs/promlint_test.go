@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, text string) []error {
+	t.Helper()
+	return LintProm(strings.NewReader(text))
+}
+
+func TestLintPromCleanRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lint_events_total", "events").Add(7)
+	r.Gauge("lint_pending", "pending").Set(-3)
+	h := r.Histogram("lint_latency_ns", "latency")
+	for _, v := range []int64{1, 5, 900, 1 << 20} {
+		h.Observe(v)
+	}
+	v := r.CounterVec("lint_drops_total", "drops", "reason", "overflow", `odd"label\`)
+	v.At(0).Inc()
+	v.At(1).Add(2)
+
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintProm(bytes.NewReader(b.Bytes())); len(errs) != 0 {
+		t.Fatalf("registry output should lint clean, got:\n%v\noutput:\n%s", errs, b.String())
+	}
+}
+
+func TestLintPromViolations(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"missing help",
+			"# TYPE x_total counter\nx_total 1\n",
+			"no # HELP"},
+		{"missing type",
+			"# HELP x_total help\nx_total 1\n",
+			"no # TYPE"},
+		{"bad type",
+			"# HELP x help\n# TYPE x flurble\nx 1\n",
+			"unknown metric type"},
+		{"bad value",
+			"# HELP x help\n# TYPE x gauge\nx banana\n",
+			"not a float"},
+		{"bad name",
+			"# HELP 9x help\n# TYPE 9x counter\n9x 1\n",
+			"invalid metric name"},
+		{"headerless sample",
+			"stray_total 4\n",
+			"before its # HELP"},
+		{"non-cumulative buckets",
+			"# HELP h help\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+			"not cumulative"},
+		{"missing inf",
+			"# HELP h help\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n",
+			"no le=\"+Inf\""},
+		{"inf count mismatch",
+			"# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+			"!= _count"},
+		{"missing sum",
+			"# HELP h help\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"no _sum"},
+		{"interleaved families",
+			"# HELP a help\n# TYPE a counter\na 1\n# HELP b help\n# TYPE b counter\nb 1\n# HELP a help\n# TYPE a counter\na 2\n",
+			"interleaved"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintErrs(t, tc.text)
+			if len(errs) == 0 {
+				t.Fatalf("expected a violation containing %q, got none", tc.want)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no violation contains %q; got %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestLintPromAllowsPlainComments(t *testing.T) {
+	text := "# scraped at startup\n# HELP x_total help\n# TYPE x_total counter\nx_total{k=\"v,w=\\\"x\\\"\"} 1 1700000000\n"
+	if errs := lintErrs(t, text); len(errs) != 0 {
+		t.Fatalf("clean input flagged: %v", errs)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo identifies the running binary in /statusz.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+	Main      string `json:"module,omitempty"`
+}
+
+// ReadBuildInfo extracts the toolchain and VCS stamp from the binary.
+func ReadBuildInfo() BuildInfo {
+	b := BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.Main = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Modified = s.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+// statusz is the /statusz document: build identity, the caller's live status
+// (per-run progress, invocation parameters — whatever the embedding binary
+// supplies), and a full registry snapshot.
+type statusz struct {
+	Build   BuildInfo    `json:"build"`
+	Uptime  string       `json:"uptime"`
+	Status  any          `json:"status,omitempty"`
+	Metrics []FamilySnap `json:"metrics"`
+}
+
+// Handler returns the debug mux over registry r:
+//
+//	/metrics     Prometheus text exposition
+//	/statusz     JSON: build info + status() + registry snapshot
+//	/healthz     "ok"
+//	/debug/vars  expvar
+//	/debug/pprof profiling endpoints
+//
+// status may be nil. Every endpoint reads snapshots — nothing is drained or
+// reset by a scrape, so scraping cannot perturb a running simulation.
+func Handler(r *Registry, status func() any) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		doc := statusz{
+			Build:   ReadBuildInfo(),
+			Uptime:  time.Since(start).Round(time.Millisecond).String(),
+			Metrics: r.Snapshot(),
+		}
+		if status != nil {
+			doc.Status = status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "vertigo debug server\n\n/metrics\n/statusz\n/healthz\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "127.0.0.1:9464", or ":0" for
+// an ephemeral port) and returns the bound address. The server runs until
+// the process exits; it is deliberately not tied to any one run's lifetime,
+// because the whole point is scraping a warm process across runs.
+func Serve(addr string, r *Registry, status func() any) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: Handler(r, status)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vertigo/internal/obs"
 	"vertigo/internal/units"
 )
 
@@ -104,6 +105,16 @@ type Engine struct {
 	// Wall-clock watchdog (see SetWallDeadline).
 	wallDeadline time.Time
 	deadlineHit  bool
+
+	// Introspection plane (see internal/obs). pub* shadow the counters
+	// above at their last publish into the process-global registry, so the
+	// throttled publish pushes deltas instead of re-reading totals.
+	pubFired    uint64
+	pubSeq      uint64
+	pubTombPops uint64
+	pubSweeps   uint64
+	pubLive     int
+	flight      *obs.FlightRecorder // crash flight recorder, nil when disabled
 }
 
 // bucketCap is each ring bucket's preallocated capacity. Carving all
@@ -464,10 +475,17 @@ func (e *Engine) Run(until units.Time) units.Time {
 		if mAt > until {
 			break
 		}
-		if watchdog && e.fired&wallCheckMask == 0 && time.Now().After(e.wallDeadline) {
-			e.deadlineHit = true
-			e.stopped = true
-			break
+		if e.fired&wallCheckMask == 0 {
+			// Piggyback the registry publish on the watchdog cadence: one
+			// batch of atomic adds per 16 Ki events keeps /metrics live
+			// without putting atomic traffic on the per-event path.
+			e.publishObs()
+			if watchdog && time.Now().After(e.wallDeadline) {
+				e.deadlineHit = true
+				e.flight.Record(obs.FlightWatchdog, int64(e.now), int64(e.fired), 0, 0)
+				e.stopped = true
+				break
+			}
 		}
 		ev := b[minI].ev
 		n := len(b) - 1
@@ -480,6 +498,9 @@ func (e *Engine) Run(until units.Time) units.Time {
 		e.curSched = ev.schedAt
 		e.curSchedCtx = ev.schedCtx
 		e.fired++
+		if e.flight != nil {
+			e.flight.Record(obs.FlightEvent, int64(mAt), int64(ev.schedAt), int64(e.live), int64(ev.seq))
+		}
 		fn := ev.fn
 		if ev.chain {
 			// Fire-and-forget frame: leave it parked in cur so the handler's
@@ -501,6 +522,7 @@ func (e *Engine) Run(until units.Time) units.Time {
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
+	e.publishObs() // runs shorter than the publish cadence still surface
 	return e.now
 }
 
