@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race vet bench bench-core bench-obs bench-run bench-gate bench-merge exp-small exp-medium examples clean
+.PHONY: all build test test-short race race-serve vet bench bench-core bench-obs bench-run bench-gate bench-merge exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -23,6 +23,12 @@ test-short:
 # timeout on single-CPU runners.
 race:
 	$(GO) test -race -timeout 45m ./...
+
+# The daemon's suite (admission control, retry classification, journal
+# resume, the 50-job chaos drill) under the race detector — what CI's
+# serve-smoke job runs first.
+race-serve:
+	$(GO) test -race -timeout 20m ./internal/serve/
 
 # Regenerate every paper table/figure at benchmark (tiny) scale.
 bench: bench-obs

@@ -45,7 +45,7 @@ func benchExperiment(b *testing.B, id string) {
 	var tables []*exp.Table
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tables, err = e.Run(sc)
+		tables, err = e.Run(sc, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -238,7 +238,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 
 	exp.Concurrency = 1
 	t0 := time.Now()
-	if _, err := e.Run(exp.Tiny); err != nil {
+	if _, err := e.Run(exp.Tiny, nil); err != nil {
 		b.Fatal(err)
 	}
 	seq := time.Since(t0)
@@ -246,7 +246,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 	exp.Concurrency = runtime.GOMAXPROCS(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(exp.Tiny); err != nil {
+		if _, err := e.Run(exp.Tiny, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -195,7 +195,9 @@ func realMain() error {
 				"start_time":  start.UTC().Format(time.RFC3339),
 			}
 		}
-		addr, err := obs.Serve(*debugAddr, obs.Default, status)
+		// The returned closer is deliberately unused: the -debug-addr plane
+		// runs until process exit so the last scrape still sees final counts.
+		addr, _, err := obs.Serve(*debugAddr, obs.Default, status)
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}
@@ -218,7 +220,7 @@ func realMain() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tables, err := e.Run(sc)
+			tables, err := e.Run(sc, nil)
 			results[i] = outcome{tables, err}
 		}()
 	}
@@ -258,7 +260,7 @@ func realMain() error {
 	}
 
 	if rec != nil {
-		m := exp.BuildManifest(ids, sc, rec, start, time.Since(start))
+		m := exp.BuildManifest(ids, sc, exp.Concurrency, rec, start, time.Since(start))
 		if err := exp.WriteArtifacts(*outDir, m, allTables, rec); err != nil {
 			return fmt.Errorf("writing artifacts: %w", err)
 		}

@@ -1,0 +1,148 @@
+// Command vertigo-servectl is a small client for the vertigo-serve daemon:
+//
+//	vertigo-servectl submit spec.json     # or: -f - to read stdin
+//	vertigo-servectl submit -watch spec.json
+//	vertigo-servectl list
+//	vertigo-servectl get j3
+//	vertigo-servectl watch j3             # tail the SSE event stream
+//	vertigo-servectl health
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "http://localhost:8080", "vertigo-serve base URL")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vertigo-servectl [-addr URL] {submit [-watch] FILE | list | get ID | watch ID | health}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: *addr}
+	switch args[0] {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ExitOnError)
+		watch := fs.Bool("watch", false, "follow the job's event stream after submitting")
+		_ = fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			log.Fatal("submit: want exactly one spec file (or - for stdin)")
+		}
+		id := c.submit(fs.Arg(0))
+		if *watch {
+			c.watch(id)
+		}
+	case "list":
+		c.get("/api/v1/jobs")
+	case "get":
+		if len(args) != 2 {
+			log.Fatal("get: want a job ID")
+		}
+		c.get("/api/v1/jobs/" + args[1])
+	case "watch":
+		if len(args) != 2 {
+			log.Fatal("watch: want a job ID")
+		}
+		c.watch(args[1])
+	case "health":
+		c.get("/healthz")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type client struct{ base string }
+
+// submit POSTs a spec file (or stdin for "-") and prints the accepted job;
+// it exits nonzero on any rejection, echoing Retry-After when present.
+func (c *client) submit(path string) string {
+	var spec []byte
+	var err error
+	if path == "-" {
+		spec, err = io.ReadAll(os.Stdin)
+	} else {
+		spec, err = os.ReadFile(path)
+	}
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	resp, err := http.Post(c.base+"/api/v1/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			log.Printf("rejected (%s), Retry-After: %ss", resp.Status, ra)
+		} else {
+			log.Printf("rejected (%s)", resp.Status)
+		}
+		os.Stderr.Write(body)
+		os.Exit(1)
+	}
+	os.Stdout.Write(body)
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.ID == "" {
+		log.Fatal("submit: response had no job ID")
+	}
+	return v.ID
+}
+
+// get prints one API response body.
+func (c *client) get(path string) {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	os.Stdout.Write(body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
+	}
+}
+
+// watch tails a job's SSE stream until it ends (job terminal or server
+// gone), printing "event: data" lines.
+func (c *client) watch(id string) {
+	cl := &http.Client{Timeout: 0} // SSE: no overall deadline
+	resp, err := cl.Get(c.base + "/api/v1/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatalf("watch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("watch: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var ev string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case bytes.HasPrefix([]byte(line), []byte("event: ")):
+			ev = line[len("event: "):]
+		case bytes.HasPrefix([]byte(line), []byte("data: ")):
+			fmt.Printf("%s  %-9s %s\n", time.Now().Format("15:04:05"), ev+":", line[len("data: "):])
+		}
+	}
+}

@@ -58,7 +58,8 @@ func main() {
 				"duration": duration.String(), "seed": *seed,
 			}
 		}
-		addr, err := obs.Serve(*debugAddr, obs.Default, status)
+		// Closer unused: -debug-addr serves until process exit by design.
+		addr, _, err := obs.Serve(*debugAddr, obs.Default, status)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vertigo-sim: debug server:", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -105,8 +106,20 @@ type Config struct {
 	// the static FIBs in place (dataplane-only recovery).
 	HealDelay units.Time
 	// WallTimeout, when positive, bounds the run's real elapsed time; a run
-	// that exceeds it aborts with an error rather than hanging its worker.
+	// that exceeds it aborts with an error (wrapping ErrWallBudget) rather
+	// than hanging its worker.
 	WallTimeout time.Duration
+	// MaxEvents, when positive, bounds the run's event count; a run that
+	// fires this many events aborts with an error wrapping ErrMaxEvents.
+	// Unlike WallTimeout the cap is deterministic — a runaway scenario
+	// aborts at the same event on every machine — so callers can classify
+	// a capped run as a permanent failure not worth retrying.
+	MaxEvents uint64
+	// ChaosPanicAt, when positive, panics deliberately once simulated time
+	// reaches it — a crash-drill fixture for the crash-isolation machinery
+	// (sweep recover paths, vertigo-serve job isolation, flight-recorder
+	// dumps). The panic is deterministic: same config, same panic.
+	ChaosPanicAt units.Time
 
 	// Flight, when non-nil, attaches a crash flight recorder to the engine:
 	// recent events, drops and fault transitions land in its ring, and the
@@ -120,6 +133,15 @@ type Config struct {
 	// runs up to metrics.RawAutoMaxFlows started flows.
 	RawSeries metrics.RawMode
 }
+
+// Budget sentinels. Run wraps these into its abort errors so callers can
+// classify failures with errors.Is instead of string matching: a wall-budget
+// kill depends on machine load (transient, retryable), a max-events kill is
+// a deterministic property of the scenario (permanent).
+var (
+	ErrWallBudget = errors.New("wall-clock budget exceeded")
+	ErrMaxEvents  = errors.New("event budget exceeded")
+)
 
 // LinkFailure kills one topology link at a point in simulated time.
 type LinkFailure struct {
@@ -208,6 +230,9 @@ func (c *Config) Validate() error {
 	}
 	if c.HealDelay < 0 {
 		return fmt.Errorf("core: negative heal delay %v", c.HealDelay)
+	}
+	if c.ChaosPanicAt < 0 || c.ChaosPanicAt > c.SimTime {
+		return fmt.Errorf("core: chaos panic at %v is outside the simulated window [0, %v]", c.ChaosPanicAt, c.SimTime)
 	}
 	if c.Fabric.TrainLen < 0 {
 		return fmt.Errorf("core: negative packet-train length %d", c.Fabric.TrainLen)
@@ -372,15 +397,29 @@ func Run(cfg Config) (*Result, error) {
 		ic.Run(cfg.SimTime)
 	}
 
+	if cfg.ChaosPanicAt > 0 {
+		at := cfg.ChaosPanicAt
+		eng.At(at, func() {
+			panic(fmt.Sprintf("core: deliberate chaos panic at t=%v (ChaosPanicAt)", at))
+		})
+	}
+
 	if cfg.WallTimeout > 0 {
 		eng.SetWallDeadline(cfg.WallTimeout)
+	}
+	if cfg.MaxEvents > 0 {
+		eng.SetMaxEvents(cfg.MaxEvents)
 	}
 	end := eng.Run(cfg.SimTime)
 	eng.FinishObs()
 	net.Pool().PublishObs()
 	if eng.DeadlineExceeded() {
-		return nil, fmt.Errorf("core: run exceeded its %v wall-clock budget at t=%v (%d events fired)",
-			cfg.WallTimeout, end, eng.Events())
+		return nil, fmt.Errorf("core: run exceeded its %v wall-clock budget at t=%v (%d events fired): %w",
+			cfg.WallTimeout, end, eng.Events(), ErrWallBudget)
+	}
+	if eng.MaxEventsExceeded() {
+		return nil, fmt.Errorf("core: run exceeded its %d-event budget at t=%v: %w",
+			cfg.MaxEvents, end, ErrMaxEvents)
 	}
 	if mon != nil {
 		mon.Finish()

@@ -193,8 +193,9 @@ func sortedByLabel(recs []RunRecord) []RunRecord {
 }
 
 // BuildManifest assembles the invocation manifest from the requested
-// experiments, the scale, and the recorded runs.
-func BuildManifest(ids []string, sc Scale, rec *Recorder, start time.Time, wall time.Duration) Manifest {
+// experiments, the scale, the sweep concurrency used, and the recorded
+// runs.
+func BuildManifest(ids []string, sc Scale, conc int, rec *Recorder, start time.Time, wall time.Duration) Manifest {
 	m := Manifest{
 		Experiments: ids,
 		Scale:       sc.Name,
@@ -202,7 +203,7 @@ func BuildManifest(ids []string, sc Scale, rec *Recorder, start time.Time, wall 
 		Hosts:       sc.Hosts(),
 		FatTreeK:    sc.FatTreeK,
 		SimTime:     sc.SimTime,
-		Concurrency: Concurrency,
+		Concurrency: conc,
 		GoVersion:   runtime.Version(),
 		GitRev:      gitRev(),
 		StartTime:   start.UTC().Format(time.RFC3339),

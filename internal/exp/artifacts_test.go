@@ -31,12 +31,12 @@ func TestArtifactPipeline(t *testing.T) {
 
 	cfg := withLoads(baseConfig(Tiny, fabric.Vertigo, transport.DCTCP), 0.2, 0.5)
 	cfg.SimTime = 5 * units.Millisecond
-	if _, _, err := run("figX/vertigo", cfg); err != nil {
+	if _, _, err := DefaultOptions().run("figX/vertigo", cfg); err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := withLoads(baseConfig(Tiny, fabric.ECMP, transport.DCTCP), 0.2, 0.5)
 	cfg2.SimTime = 5 * units.Millisecond
-	if _, _, err := run("figX/ecmp", cfg2); err != nil {
+	if _, _, err := DefaultOptions().run("figX/ecmp", cfg2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -53,7 +53,7 @@ func TestArtifactPipeline(t *testing.T) {
 	}
 
 	start := time.Now()
-	m := BuildManifest([]string{"figX"}, Tiny, rec, start, 3*time.Second)
+	m := BuildManifest([]string{"figX"}, Tiny, Concurrency, rec, start, 3*time.Second)
 	if m.Runs != 2 || m.Events == 0 || m.EventsPerSec == 0 {
 		t.Fatalf("manifest totals wrong: %+v", m)
 	}

@@ -13,7 +13,7 @@ func renderAll(t *testing.T, id string) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e.Run(Tiny)
+	tables, err := e.Run(Tiny, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

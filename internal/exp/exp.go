@@ -158,6 +158,13 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 }
 
+// The package-level variables below are the CLI drivers' configuration
+// surface: flags set them once before any sweep starts, and sweeps run with
+// a nil *Options snapshot them (see DefaultOptions). Callers that run
+// concurrent sweeps with different budgets — the vertigo-serve daemon —
+// must pass explicit Options instead; mutating these globals mid-flight is
+// a data race.
+
 // Progress, when non-nil, receives one line per completed simulation run.
 // Sweep workers report concurrently; calls are serialized by progressMu, so
 // the installed function need not be thread-safe itself.
@@ -189,6 +196,14 @@ var HealDelay units.Time
 // RunTimeout, when positive, bounds each run's wall-clock time; a run that
 // exceeds it fails its row instead of stalling the sweep (-run-timeout).
 var RunTimeout time.Duration
+
+// MaxEvents, when positive, bounds each run's event count; a capped run
+// fails its row with an error wrapping core.ErrMaxEvents.
+var MaxEvents uint64
+
+// ChaosPanicAt, when positive, panics every run deliberately at this
+// simulated time — a crash drill for the recover/flight-dump machinery.
+var ChaosPanicAt units.Time
 
 // TrainLen, when non-negative, overrides the dataplane packet-train length
 // on every run (the -train CLI flag). 0 forces the per-packet engine; the
@@ -239,21 +254,19 @@ func (ri *RunInfo) EventsPerSec() float64 {
 	return float64(ri.Engine.Events) / ri.Wall.Seconds()
 }
 
+// progressMu is the package-level progress lock: every sweep whose Options
+// carry no private lock (DefaultOptions, zero Options) serializes its
+// Progress/OnRun calls here, so concurrent CLI experiments sharing one
+// Recorder never interleave.
 var progressMu sync.Mutex
 
-func progress(format string, args ...any) {
-	progressMu.Lock()
-	defer progressMu.Unlock()
-	if Progress != nil {
-		Progress(format, args...)
-	}
-}
-
-// Experiment is a named table/figure driver.
+// Experiment is a named table/figure driver. Run executes the sweep under
+// opt; a nil opt snapshots the package-level defaults (DefaultOptions), so
+// flag-driven CLI invocations pass nil.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(sc Scale) ([]*Table, error)
+	Run   func(sc Scale, opt *Options) ([]*Table, error)
 }
 
 // registry holds all experiments, keyed by ID.
@@ -326,15 +339,16 @@ func withLoads(cfg core.Config, bg, total float64) core.Config {
 // reportFailure emits a failed run's progress line and OnRun record — with
 // the flight recorder's dump attached — under the same lock as successful
 // runs so lines never interleave.
-func reportFailure(label string, err error, fr *obs.FlightRecorder) {
+func (o *Options) reportFailure(label string, err error, fr *obs.FlightRecorder) {
 	obsRunsFailed.Inc()
-	progressMu.Lock()
-	defer progressMu.Unlock()
-	if Progress != nil {
-		Progress("%-40s FAILED: %s", label, firstLine(err.Error()))
+	mu := o.lock()
+	mu.Lock()
+	defer mu.Unlock()
+	if o.Progress != nil {
+		o.Progress("%-40s FAILED: %s", label, firstLine(err.Error()))
 	}
-	if OnRun != nil {
-		OnRun(RunInfo{Label: label, Err: err.Error(), Flight: flightDump(fr)})
+	if o.OnRun != nil {
+		o.OnRun(RunInfo{Label: label, Err: err.Error(), Flight: flightDump(fr)})
 	}
 }
 
@@ -350,37 +364,65 @@ func flightDump(fr *obs.FlightRecorder) []byte {
 	return b.Bytes()
 }
 
+// applyTo folds the option overrides into one run's config. Config-level
+// settings only; per-run attachments (tracer buffers, flight recorders)
+// stay in run.
+func (o *Options) applyTo(cfg core.Config) core.Config {
+	if o.SampleTick > 0 && cfg.SampleTick == 0 {
+		cfg.SampleTick = o.SampleTick
+	}
+	if !o.FaultSchedule.Empty() && cfg.Faults.Empty() {
+		cfg.Faults = o.FaultSchedule
+	}
+	if o.HealDelay > 0 && cfg.HealDelay == 0 {
+		cfg.HealDelay = o.HealDelay
+	}
+	if o.RunTimeout > 0 && cfg.WallTimeout == 0 {
+		cfg.WallTimeout = o.RunTimeout
+	}
+	if o.MaxEvents > 0 && cfg.MaxEvents == 0 {
+		cfg.MaxEvents = o.MaxEvents
+	}
+	if o.ChaosPanicAt > 0 && cfg.ChaosPanicAt == 0 {
+		cfg.ChaosPanicAt = o.ChaosPanicAt
+	}
+	if o.TrainLen >= 0 {
+		cfg.Fabric.TrainLen = o.TrainLen
+	}
+	if o.RawMode != metrics.RawAuto && cfg.RawSeries == metrics.RawAuto {
+		cfg.RawSeries = o.RawMode
+	}
+	return cfg
+}
+
+// ProbeConfig builds the representative scenario a sweep at this scale
+// runs — the shared leaf-spine base with the options applied — so services
+// can validate a submission (core.Config.Validate) before committing a
+// worker to it. The probe uses the Vertigo+DCTCP combination every
+// experiment includes; option-level errors (fault schedules outside the
+// simulated window, train lengths out of range, chaos panics past the
+// deadline) surface here exactly as they would mid-sweep.
+func ProbeConfig(sc Scale, opt *Options) core.Config {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	return opt.applyTo(baseConfig(sc, fabric.Vertigo, transport.DCTCP))
+}
+
 // run executes one scenario, reporting progress and instrumentation.
-func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
-	if SampleTick > 0 && cfg.SampleTick == 0 {
-		cfg.SampleTick = SampleTick
-	}
-	if !FaultSchedule.Empty() && cfg.Faults.Empty() {
-		cfg.Faults = FaultSchedule
-	}
-	if HealDelay > 0 && cfg.HealDelay == 0 {
-		cfg.HealDelay = HealDelay
-	}
-	if RunTimeout > 0 && cfg.WallTimeout == 0 {
-		cfg.WallTimeout = RunTimeout
-	}
-	if TrainLen >= 0 {
-		cfg.Fabric.TrainLen = TrainLen
-	}
-	if RawMode != metrics.RawAuto && cfg.RawSeries == metrics.RawAuto {
-		cfg.RawSeries = RawMode
-	}
-	if cfg.Flight == nil && FlightLen > 0 {
+func (o *Options) run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	cfg = o.applyTo(cfg)
+	if cfg.Flight == nil && o.FlightLen > 0 {
 		// safeRun normally pre-attaches the recorder (so panics can dump
 		// it); this covers direct callers, where only the error path needs
 		// one.
-		cfg.Flight = obs.NewFlightRecorder(FlightLen)
+		cfg.Flight = obs.NewFlightRecorder(o.FlightLen)
 	}
 	var traceBuf *bytes.Buffer
-	if TraceFlow > 0 && cfg.PacketTrace == nil {
+	if o.TraceFlow > 0 && cfg.PacketTrace == nil {
 		traceBuf = &bytes.Buffer{}
 		cfg.PacketTrace = traceBuf
-		cfg.PacketTraceFlow = TraceFlow
+		cfg.PacketTraceFlow = o.TraceFlow
 		cfg.PacketTraceJSON = true
 	}
 	obsRunsStarted.Inc()
@@ -388,7 +430,7 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 	res, err := core.Run(cfg)
 	if err != nil {
 		err = fmt.Errorf("exp: %s: %w", label, err)
-		reportFailure(label, err, cfg.Flight)
+		o.reportFailure(label, err, cfg.Flight)
 		return nil, nil, err
 	}
 	obsRunsCompleted.Inc()
@@ -405,17 +447,18 @@ func run(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, e
 	}
 	// One critical section for both hooks, so a run's progress line and its
 	// OnRun record can never interleave with another worker's.
-	progressMu.Lock()
-	if Progress != nil {
-		Progress("%-40s q=%4d/%4d QCT=%-10v FCT=%-10v drops=%d wall=%.2fs ev/s=%.2fM",
+	mu := o.lock()
+	mu.Lock()
+	if o.Progress != nil {
+		o.Progress("%-40s q=%4d/%4d QCT=%-10v FCT=%-10v drops=%d wall=%.2fs ev/s=%.2fM",
 			label, res.Summary.QueriesCompleted, res.Summary.QueriesStarted,
 			res.Summary.MeanQCT, res.Summary.MeanFCT, res.Summary.Drops,
 			info.Wall.Seconds(), info.EventsPerSec()/1e6)
 	}
-	if OnRun != nil {
-		OnRun(info)
+	if o.OnRun != nil {
+		o.OnRun(info)
 	}
-	progressMu.Unlock()
+	mu.Unlock()
 	return res.Summary, res.Collector, nil
 }
 

@@ -114,7 +114,7 @@ func TestExperimentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tables, err := e.Run(Tiny)
+	tables, err := e.Run(Tiny, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,10 +39,10 @@ func TestFaultSweepDeterminism(t *testing.T) {
 // TestSweepSurvivesPanic pins the crash-safety guarantee: a panicking run
 // fails its own row while the rest of the sweep completes and renders.
 func TestSweepSurvivesPanic(t *testing.T) {
-	defer func(old func(string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
+	defer func(old func(*Options, string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
 		runFn = old
 	}(runFn)
-	runFn = func(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	runFn = func(o *Options, label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
 		if strings.Contains(label, "boom") {
 			panic("synthetic crash")
 		}
@@ -54,7 +54,7 @@ func TestSweepSurvivesPanic(t *testing.T) {
 		Concurrency = conc
 
 		var rendered []string
-		sw := newSweep()
+		sw := newSweep(nil)
 		for _, label := range []string{"a", "boom", "c"} {
 			label := label
 			sw.add(label, core.Config{}, func(*metrics.Summary, *metrics.Collector) {
@@ -81,10 +81,10 @@ func TestSweepSurvivesPanic(t *testing.T) {
 // TestSweepCollectsAllErrors pins the batch bugfix: failures no longer abort
 // the sweep, and every failure is reported, not just the first.
 func TestSweepCollectsAllErrors(t *testing.T) {
-	defer func(old func(string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
+	defer func(old func(*Options, string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
 		runFn = old
 	}(runFn)
-	runFn = func(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	runFn = func(o *Options, label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
 		if strings.HasPrefix(label, "bad") {
 			return nil, nil, errors.New(label + " failed")
 		}
@@ -94,7 +94,7 @@ func TestSweepCollectsAllErrors(t *testing.T) {
 	Concurrency = 1
 
 	var rendered int
-	sw := newSweep()
+	sw := newSweep(nil)
 	for _, label := range []string{"bad1", "ok1", "bad2", "ok2"} {
 		sw.add(label, core.Config{}, func(*metrics.Summary, *metrics.Collector) { rendered++ })
 	}
@@ -117,14 +117,14 @@ func TestSweepCollectsAllErrors(t *testing.T) {
 // TestPartialArtifactsOnFailure pins that a sweep with failures still writes
 // a well-formed results.json with the failures in the errors section.
 func TestPartialArtifactsOnFailure(t *testing.T) {
-	defer func(old func(string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
+	defer func(old func(*Options, string, core.Config) (*metrics.Summary, *metrics.Collector, error)) {
 		runFn = old
 	}(runFn)
-	runFn = func(label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
+	runFn = func(o *Options, label string, cfg core.Config) (*metrics.Summary, *metrics.Collector, error) {
 		if label == "doomed" {
 			panic("artifact test crash")
 		}
-		return run(label, cfg)
+		return o.run(label, cfg)
 	}
 	defer func(old func(RunInfo)) { OnRun = old }(OnRun)
 	rec := NewRecorder()
@@ -132,7 +132,7 @@ func TestPartialArtifactsOnFailure(t *testing.T) {
 	defer func(old int) { Concurrency = old }(Concurrency)
 	Concurrency = 2
 
-	sw := newSweep()
+	sw := newSweep(nil)
 	tbl := &Table{ID: "x", Title: "partial", Columns: []string{"label"}}
 	good := baseConfig(Tiny, fabric.ECMP, transport.DCTCP)
 	good.SimTime = Tiny.SimTime / 8
@@ -144,7 +144,7 @@ func TestPartialArtifactsOnFailure(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	m := BuildManifest([]string{"x"}, Tiny, rec, time.Now(), time.Second)
+	m := BuildManifest([]string{"x"}, Tiny, Concurrency, rec, time.Now(), time.Second)
 	if m.Runs != 1 || m.FailedRuns != 1 {
 		t.Fatalf("manifest runs=%d failed=%d, want 1/1", m.Runs, m.FailedRuns)
 	}

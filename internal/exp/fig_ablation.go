@@ -44,7 +44,7 @@ func init() {
 }
 
 // runFig11a reproduces Figure 11a: Vertigo with each component disabled.
-func runFig11a(sc Scale) ([]*Table, error) {
+func runFig11a(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig11a",
 		Title:   "Vertigo component ablation (DCTCP)",
@@ -58,7 +58,7 @@ func runFig11a(sc Scale) ([]*Table, error) {
 		label                 string
 		sched, deflect, order bool
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, v := range []variant{
 		{"vertigo", true, true, true},
 		{"no-deflection", true, false, true},
@@ -83,7 +83,7 @@ func runFig11a(sc Scale) ([]*Table, error) {
 }
 
 // runFig11b reproduces Figure 11b: boosting factors at two background loads.
-func runFig11b(sc Scale) ([]*Table, error) {
+func runFig11b(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig11b",
 		Title:   "Retransmission boosting (Vertigo + DCTCP)",
@@ -97,7 +97,7 @@ func runFig11b(sc Scale) ([]*Table, error) {
 		boosting bool
 		log2     uint
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, v := range []variant{
 		{"off", false, 1},
 		{"2x", true, 1},
@@ -119,9 +119,9 @@ func runFig11b(sc Scale) ([]*Table, error) {
 
 // runFig12 reproduces Figure 12: the four forwarding/deflection choice
 // combinations on both topologies.
-func runFig12(sc Scale) ([]*Table, error) {
+func runFig12(sc Scale, opt *Options) ([]*Table, error) {
 	var tables []*Table
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, ft := range []bool{false, true} {
 		name := "two-tier leaf-spine"
 		if ft {
@@ -165,7 +165,7 @@ func runFig12(sc Scale) ([]*Table, error) {
 }
 
 // runTable3 reproduces Table 3: SRPT vs LAS marking against baselines.
-func runTable3(sc Scale) ([]*Table, error) {
+func runTable3(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "table3",
 		Title:   "Mean FCT: flow aging (LAS) vs SRPT vs baselines",
@@ -183,7 +183,7 @@ func runTable3(sc Scale) ([]*Table, error) {
 		{fabric.Vertigo, false},
 		{fabric.Vertigo, true},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, load := range []float64{0.55, 0.75, 0.95} {
 		// One table row spans four sweep points; renders fire in submission
 		// order, so the last column's callback sees the completed row.
@@ -207,7 +207,7 @@ func runTable3(sc Scale) ([]*Table, error) {
 }
 
 // runFig13 reproduces Figure 13: ordering timeout sweep.
-func runFig13(sc Scale) ([]*Table, error) {
+func runFig13(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig13",
 		Title:   "Ordering timeout τ sweep (Vertigo + DCTCP, incast)",
@@ -216,7 +216,7 @@ func runFig13(sc Scale) ([]*Table, error) {
 			"paper Fig. 13: τ has a bounded effect on completion times",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, tau := range []units.Time{
 		120 * units.Microsecond, 360 * units.Microsecond,
 		720 * units.Microsecond, 1080 * units.Microsecond,
@@ -233,13 +233,13 @@ func runFig13(sc Scale) ([]*Table, error) {
 
 // runDefSet is an extra ablation beyond the paper: the per-packet deflection
 // budget that converts starvation into boosted retransmission.
-func runDefSet(sc Scale) ([]*Table, error) {
+func runDefSet(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "defset",
 		Title:   "Deflection budget ablation (Vertigo + DCTCP, 75% load)",
 		Columns: []string{"budget", "mean_QCT", "query_compl", "drop_rate", "deflections"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, budget := range []int{1, 4, 8, 16, -1} {
 		cfg := withLoads(baseConfig(sc, fabric.Vertigo, transport.DCTCP), 0.25, 0.75)
 		cfg.Fabric.MaxDeflections = budget

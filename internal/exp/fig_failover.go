@@ -22,7 +22,7 @@ func init() {
 // through the run, with no routing reconvergence. ECMP and DRILL keep
 // hashing flows onto the dead port and blackhole them; DIBS and Vertigo
 // treat the dead port as a full queue and deflect around it in place.
-func runFailover(sc Scale) ([]*Table, error) {
+func runFailover(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "failover",
 		Title:   "One leaf uplink fails at T/2 (DCTCP, 50% load)",
@@ -32,7 +32,7 @@ func runFailover(sc Scale) ([]*Table, error) {
 			"deflection-capable schemes (DIBS, Vertigo) reroute in the dataplane",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, p := range []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabric.Vertigo} {
 		cfg := withLoads(baseConfig(sc, p, transport.DCTCP), 0.30, 0.50)
 		// The first leaf-spine link follows the host access links.

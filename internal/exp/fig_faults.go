@@ -53,7 +53,7 @@ var faultPolicies = []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabr
 // runFlapStorm flaps the first leaf uplink three times. Each cycle holds the
 // link down T/16 out of every T/8 starting at T/4, so the fabric sees
 // repeated carrier loss with barely enough air to drain between flaps.
-func runFlapStorm(sc Scale) ([]*Table, error) {
+func runFlapStorm(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "flapstorm",
 		Title:   "First leaf uplink flaps 3x (down T/16, period T/8; DCTCP, 50% load)",
@@ -63,7 +63,7 @@ func runFlapStorm(sc Scale) ([]*Table, error) {
 			"post_recovery_tx counts data packets the revived link carried",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	firstUplink := sc.Hosts()
 	for _, p := range faultPolicies {
 		p := p
@@ -82,13 +82,13 @@ func runFlapStorm(sc Scale) ([]*Table, error) {
 // runSwitchDeath kills the first spine at T/3 and revives it at 2T/3: every
 // uplink into it goes dark at once — the worst case for hash-based schemes,
 // since a quarter of the fabric capacity (at the default scales) vanishes.
-func runSwitchDeath(sc Scale) ([]*Table, error) {
+func runSwitchDeath(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "switchdeath",
 		Title:   "Spine 0 dies at T/3, recovers at 2T/3 (DCTCP, 50% load)",
 		Columns: []string{"system", "flow_compl", "mean_FCT", "drops", "linkdown_drops", "post_recovery_tx"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	spine0 := sc.Leaves // switch IDs: leaves first, then spines
 	for _, p := range faultPolicies {
 		p := p
@@ -109,13 +109,13 @@ func runSwitchDeath(sc Scale) ([]*Table, error) {
 // runCorrupt sweeps the bit-error rate of the first leaf uplink. Corruption
 // is invisible to routing — no scheme can route around it — so this isolates
 // how each transport's loss recovery copes with non-congestive loss.
-func runCorrupt(sc Scale) ([]*Table, error) {
+func runCorrupt(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "corrupt",
 		Title:   "First leaf uplink drops packets with probability BER (DCTCP, 50% load)",
 		Columns: []string{"system", "ber", "flow_compl", "mean_FCT", "corrupt_drops", "total_drops"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	firstUplink := sc.Hosts()
 	for _, p := range []fabric.Policy{fabric.ECMP, fabric.Vertigo} {
 		for _, ber := range []float64{0, 1e-4, 1e-3, 1e-2} {
@@ -140,7 +140,7 @@ func runCorrupt(sc Scale) ([]*Table, error) {
 // control-plane convergence delay. ECMP recovers only once the FIBs heal, so
 // its completion tracks the delay; Vertigo deflects around the failure
 // immediately and the delay barely registers.
-func runHealDelay(sc Scale) ([]*Table, error) {
+func runHealDelay(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "healdelay",
 		Title:   "First leaf uplink fails for good at T/4; FIBs heal after a delay (DCTCP, 50% load)",
@@ -149,7 +149,7 @@ func runHealDelay(sc Scale) ([]*Table, error) {
 			"heal_delay 'off' leaves the static FIBs installed for the whole run",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	firstUplink := sc.Hosts()
 	delays := []units.Time{0, sc.SimTime / 32, sc.SimTime / 8}
 	for _, p := range []fabric.Policy{fabric.ECMP, fabric.Vertigo} {
@@ -177,13 +177,13 @@ func runHealDelay(sc Scale) ([]*Table, error) {
 // at T/3, the control plane heals around it T/16 later, the carrier returns
 // at 2T/3, and a second heal folds the link back in. post_recovery_tx > 0
 // shows the recovered link carrying traffic again.
-func runFailHeal(sc Scale) ([]*Table, error) {
+func runFailHeal(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "failheal",
 		Title:   "First leaf uplink down T/3..2T/3, healing delay T/16 (DCTCP, 50% load)",
 		Columns: []string{"system", "flow_compl", "mean_FCT", "linkdown_drops", "mean_TTR", "post_recovery_tx", "fib_installs"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	firstUplink := sc.Hosts()
 	for _, p := range faultPolicies {
 		p := p

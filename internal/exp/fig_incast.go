@@ -38,7 +38,7 @@ var fig8Policies = []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabri
 // size over 50% background. The paper sweeps 50..450 servers of 320 hosts
 // (some queries exceed the cluster); we sweep the same fractions of the
 // scaled cluster.
-func runFig8(sc Scale) ([]*Table, error) {
+func runFig8(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "Rising incast scale (50% background)",
@@ -49,7 +49,7 @@ func runFig8(sc Scale) ([]*Table, error) {
 	}
 	hosts := sc.Hosts()
 	fractions := []float64{0.15, 0.30, 0.60, 1.0} // of the cluster, paper: 50..450 of 320
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, p := range fig8Policies {
 		for _, f := range fractions {
 			scale := int(f * float64(hosts))
@@ -74,7 +74,7 @@ func runFig8(sc Scale) ([]*Table, error) {
 
 // runFig9 reproduces Figure 9: incast flow size sweep at fixed scale and
 // rate over 50% background, including the TCP+ECMP baseline the figure shows.
-func runFig9(sc Scale) ([]*Table, error) {
+func runFig9(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "Rising incast flow size (50% background)",
@@ -94,7 +94,7 @@ func runFig9(sc Scale) ([]*Table, error) {
 		{fabric.Vertigo, transport.DCTCP},
 	}
 	hosts := sc.Hosts()
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, sys := range systems {
 		for _, kb := range []int{1, 40, 100, 180} {
 			cfg := baseConfig(sc, sys.policy, sys.proto)
@@ -113,7 +113,7 @@ func runFig9(sc Scale) ([]*Table, error) {
 
 // runFig10 reproduces Figure 10: fixed 80% offered load with the incast
 // share (burstiness) rising as background shrinks.
-func runFig10(sc Scale) ([]*Table, error) {
+func runFig10(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Rising burstiness at fixed 80% offered load",
@@ -123,7 +123,7 @@ func runFig10(sc Scale) ([]*Table, error) {
 		},
 	}
 	const total = 0.80
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, p := range fig8Policies {
 		for _, incast := range []float64{0.15, 0.35, 0.55} {
 			cfg := withLoads(baseConfig(sc, p, transport.DCTCP), total-incast, total)
@@ -139,14 +139,14 @@ func runFig10(sc Scale) ([]*Table, error) {
 
 // runFig7 reproduces Figure 7: the fat-tree validation with three load
 // mixes under DCTCP and Swift, reporting FCT/QCT distribution points.
-func runFig7(sc Scale) ([]*Table, error) {
+func runFig7(sc Scale, opt *Options) ([]*Table, error) {
 	mixes := []struct{ bg, incast float64 }{
 		{0.25, 0.10},
 		{0.50, 0.25},
 		{0.25, 0.60},
 	}
 	var tables []*Table
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, proto := range []transport.Protocol{transport.DCTCP, transport.Swift} {
 		t := &Table{
 			ID:    "fig7",

@@ -40,7 +40,7 @@ func init() {
 
 // runFig1 reproduces Figure 1: TCP+ECMP, DCTCP+ECMP and random
 // deflection (DIBS+DCTCP) under rising incast load over 15% background.
-func runFig1(sc Scale) ([]*Table, error) {
+func runFig1(sc Scale, opt *Options) ([]*Table, error) {
 	systems := []struct {
 		label  string
 		policy fabric.Policy
@@ -60,7 +60,7 @@ func runFig1(sc Scale) ([]*Table, error) {
 			"mean_hops shows deflection's path stretch (paper §2: +20% at 50% load)",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, sys := range systems {
 		for _, load := range sweepLoads {
 			cfg := withLoads(baseConfig(sc, sys.policy, sys.proto), 0.15, load)
@@ -76,7 +76,7 @@ func runFig1(sc Scale) ([]*Table, error) {
 }
 
 // runSec2 quantifies the §2 pathology claims with counters.
-func runSec2(sc Scale) ([]*Table, error) {
+func runSec2(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:    "sec2",
 		Title: "Deflection pathologies vs ECMP baseline (35% and 75% load)",
@@ -87,7 +87,7 @@ func runSec2(sc Scale) ([]*Table, error) {
 			"pow-2 deflection choice vs random shows the power-of-two-choices win",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	mk := func(label string, policy fabric.Policy, deflChoices int, load float64) {
 		cfg := withLoads(baseConfig(sc, policy, transport.DCTCP), 0.15, load)
 		if deflChoices > 0 {
@@ -110,10 +110,10 @@ func runSec2(sc Scale) ([]*Table, error) {
 
 // runFig5 reproduces Figure 5: the four schemes under DCTCP across three
 // background loads with rising incast.
-func runFig5(sc Scale) ([]*Table, error) {
+func runFig5(sc Scale, opt *Options) ([]*Table, error) {
 	policies := []fabric.Policy{fabric.ECMP, fabric.DRILL, fabric.DIBS, fabric.Vertigo}
 	var tables []*Table
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, bg := range []float64{0.25, 0.50, 0.75} {
 		t := &Table{
 			ID:      "fig5",
@@ -141,7 +141,7 @@ func runFig5(sc Scale) ([]*Table, error) {
 
 // runFig6 reproduces Figure 6: mean QCT for DIBS and Vertigo under all three
 // transports (plus ECMP+Swift), and the QCT CDF at high load.
-func runFig6(sc Scale) ([]*Table, error) {
+func runFig6(sc Scale, opt *Options) ([]*Table, error) {
 	systems := []struct {
 		policy fabric.Policy
 		proto  transport.Protocol
@@ -168,7 +168,7 @@ func runFig6(sc Scale) ([]*Table, error) {
 		Title:   "QCT CDF at high load",
 		Columns: []string{"system", "p25", "p50", "p75", "p95", "p99"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, sys := range systems {
 		for _, load := range []float64{0.45, 0.65, 0.85} {
 			cfg := withLoads(baseConfig(sc, sys.policy, sys.proto), 0.25, load)
@@ -187,14 +187,14 @@ func runFig6(sc Scale) ([]*Table, error) {
 }
 
 // runTable2 reproduces Table 2: completion ratios at 75% load.
-func runTable2(sc Scale) ([]*Table, error) {
+func runTable2(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:      "table2",
 		Title:   "Flow and query completion at 75% load (50% BG + 25% incast)",
 		Columns: []string{"cc/system", "flow_compl", "query_compl"},
 		Notes:   []string{"paper Table 2: Vertigo > DIBS > ECMP for both transports"},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, proto := range []transport.Protocol{transport.DCTCP, transport.Swift} {
 		for _, p := range []fabric.Policy{fabric.ECMP, fabric.DIBS, fabric.Vertigo} {
 			cfg := withLoads(baseConfig(sc, p, proto), 0.50, 0.75)

@@ -22,7 +22,7 @@ func init() {
 // Vertigo's SRPT forwarding cuts overall FCTs substantially on the
 // mice-dominated cache-follower workload and costs at most a few percent on
 // the elephant-dominated ones.
-func runNonBursty(sc Scale) ([]*Table, error) {
+func runNonBursty(sc Scale, opt *Options) ([]*Table, error) {
 	t := &Table{
 		ID:    "nonbursty",
 		Title: "Background-only workloads (no incast)",
@@ -33,7 +33,7 @@ func runNonBursty(sc Scale) ([]*Table, error) {
 			"Vertigo; large-flow workloads see at most a marginal FCT increase",
 		},
 	}
-	sw := newSweep()
+	sw := newSweep(opt)
 	for _, dist := range []*workload.SizeDist{
 		workload.CacheFollower, workload.DataMining, workload.WebSearch,
 	} {

@@ -126,7 +126,7 @@ func TestWatchdogKillDumpsFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(Tiny); err == nil {
+	if _, err := e.Run(Tiny, nil); err == nil {
 		t.Fatal("1ns wall budget should fail every run")
 	}
 	if len(rec.Failed()) == 0 {
@@ -186,7 +186,7 @@ func TestHistogramQuantilesMatchRawFig1(t *testing.T) {
 	}
 	cfg := withLoads(baseConfig(Tiny, fabric.Vertigo, transport.DCTCP), 0.2, 0.5)
 	cfg.RawSeries = metrics.RawKeep
-	sum, _, err := run("quantile-fidelity", cfg)
+	sum, _, err := DefaultOptions().run("quantile-fidelity", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,7 @@ func TestParallelExperimentsRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := e.Run(Tiny); err != nil {
+			if _, err := e.Run(Tiny, nil); err != nil {
 				t.Error(err)
 			}
 		}()

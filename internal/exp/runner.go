@@ -1,27 +1,135 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vertigo/internal/core"
+	"vertigo/internal/faults"
 	"vertigo/internal/metrics"
 	"vertigo/internal/obs"
+	"vertigo/internal/units"
 )
 
-// Concurrency is the number of simulations experiment drivers run at once.
-// Each sweep point is one single-threaded deterministic simulation, so the
-// sweep is embarrassingly parallel; 1 restores fully sequential execution.
-// The default uses every available CPU.
+// Concurrency is the number of simulations experiment drivers run at once
+// when no per-call Options override it (see DefaultOptions). Each sweep
+// point is one single-threaded deterministic simulation, so the sweep is
+// embarrassingly parallel; 1 restores fully sequential execution. The
+// default uses every available CPU.
 var Concurrency = runtime.GOMAXPROCS(0)
+
+// ErrPanic marks a run that died by panicking (as opposed to returning an
+// error). Crash-safe sweeps wrap the recovered panic into an error chain
+// containing this sentinel, so callers classify with errors.Is instead of
+// string-matching stack traces. A panic is deterministic for a deterministic
+// scenario: the same config panics the same way on every machine.
+var ErrPanic = errors.New("run panicked")
+
+// Options carries one sweep invocation's settings. The package-level
+// variables (Concurrency, RunTimeout, FlightLen, ...) remain the defaults
+// for the CLI drivers — DefaultOptions snapshots them — but concurrent
+// callers with different budgets (the vertigo-serve daemon runs many
+// tenants' sweeps at once) pass their own Options instead of mutating
+// shared globals.
+type Options struct {
+	// Concurrency is the worker count for this sweep (<=0: sequential).
+	Concurrency int
+	// RunTimeout, when positive, bounds each run's wall-clock time; an
+	// over-budget run fails its row (wrapping core.ErrWallBudget) instead
+	// of stalling the sweep.
+	RunTimeout time.Duration
+	// MaxEvents, when positive, bounds each run's event count; a capped
+	// run fails its row wrapping core.ErrMaxEvents (deterministic, so not
+	// worth retrying).
+	MaxEvents uint64
+	// FlightLen is the per-run crash flight recorder's ring size; failed
+	// runs dump it to flight.jsonl. 0 disables the recorder.
+	FlightLen int
+	// SampleTick, when positive, attaches a telemetry.Sampler with this
+	// tick to every run; the series is delivered through OnRun.
+	SampleTick units.Time
+	// TraceFlow, when nonzero, attaches a JSONL packet tracer filtered to
+	// this flow ID on every run.
+	TraceFlow uint64
+	// FaultSchedule, when non-empty, is injected into every run that does
+	// not carry a schedule of its own.
+	FaultSchedule *faults.Schedule
+	// HealDelay, when positive, enables control-plane healing with this
+	// convergence delay on every run that does not set its own.
+	HealDelay units.Time
+	// TrainLen, when non-negative, overrides the dataplane packet-train
+	// length on every run; -1 leaves each run's configured value alone.
+	TrainLen int
+	// RawMode, when not RawAuto, overrides every run's raw-series
+	// retention.
+	RawMode metrics.RawMode
+	// ChaosPanicAt, when positive, sets core.Config.ChaosPanicAt on every
+	// run that does not set its own: a deterministic crash drill for the
+	// recover/flight-dump machinery.
+	ChaosPanicAt units.Time
+	// Progress, when non-nil, receives one line per completed run. Calls
+	// are serialized under the Options' progress lock, so the function
+	// need not be thread-safe itself.
+	Progress func(format string, args ...any)
+	// OnRun, when non-nil, receives every completed run's instrumentation,
+	// serialized under the same lock as Progress; runs arrive in
+	// completion order (use RunInfo.Label to regroup).
+	OnRun func(RunInfo)
+
+	// mu serializes Progress+OnRun. nil falls back to the package-level
+	// lock, so every DefaultOptions sweep in the process serializes
+	// against the others — exactly the old global behavior, which the CLI
+	// relies on when -parallel runs experiments concurrently against one
+	// shared Recorder.
+	mu *sync.Mutex
+}
+
+// NewOptions returns an Options with the zero-value defaults (TrainLen -1 =
+// leave configured values alone) and a private progress lock, suitable for
+// concurrent independent sweeps.
+func NewOptions() *Options {
+	return &Options{Concurrency: 1, TrainLen: -1, mu: new(sync.Mutex)}
+}
+
+// DefaultOptions snapshots the package-level variables — the CLI drivers'
+// configuration surface — into an Options. Sweeps run with a nil *Options
+// use this, so existing flag-driven behavior is unchanged.
+func DefaultOptions() *Options {
+	return &Options{
+		Concurrency:   Concurrency,
+		RunTimeout:    RunTimeout,
+		MaxEvents:     MaxEvents,
+		FlightLen:     FlightLen,
+		SampleTick:    SampleTick,
+		TraceFlow:     TraceFlow,
+		FaultSchedule: FaultSchedule,
+		HealDelay:     HealDelay,
+		TrainLen:      TrainLen,
+		RawMode:       RawMode,
+		ChaosPanicAt:  ChaosPanicAt,
+		Progress:      Progress,
+		OnRun:         OnRun,
+	}
+}
+
+// lock returns the Options' progress lock, falling back to the package
+// lock for default/zero Options.
+func (o *Options) lock() *sync.Mutex {
+	if o.mu != nil {
+		return o.mu
+	}
+	return &progressMu
+}
 
 // runFn is the scenario executor used by sweeps; a package variable so the
 // crash-recovery tests can substitute a misbehaving implementation.
-var runFn = run
+var runFn = (*Options).run
 
 // sweepJob is one scenario of a sweep: a label and config submitted up
 // front, the simulation outcome filled in by a worker, and a render callback
@@ -39,12 +147,20 @@ type sweepJob struct {
 // every point first (add), then execute (run): workers complete jobs in
 // whatever order the scheduler picks, but render callbacks fire in
 // submission order after all simulations finish, so rendered tables are
-// byte-identical to a sequential run regardless of Concurrency.
+// byte-identical to a sequential run regardless of concurrency.
 type sweep struct {
+	opt  *Options
 	jobs []*sweepJob
 }
 
-func newSweep() *sweep { return &sweep{} }
+// newSweep returns an empty sweep running under opt; nil opt snapshots the
+// package-level defaults.
+func newSweep(opt *Options) *sweep {
+	if opt == nil {
+		opt = DefaultOptions()
+	}
+	return &sweep{opt: opt}
+}
 
 // add enqueues one scenario. render (optional) is invoked with the
 // simulation outcome during run, in submission order.
@@ -53,22 +169,22 @@ func (sw *sweep) add(label string, cfg core.Config, render func(*metrics.Summary
 }
 
 // safeRun executes one scenario, converting a panic into an ordinary error
-// so a crashing run fails its own row instead of killing the worker pool
-// (or, sequentially, the whole batch). It pre-attaches the crash flight
-// recorder: created here, outside the run, so its ring survives the panic
-// unwinding out of core.Run and the failure report can dump what the dying
-// run was doing.
-func safeRun(label string, cfg core.Config) (sum *metrics.Summary, col *metrics.Collector, err error) {
-	if cfg.Flight == nil && FlightLen > 0 {
-		cfg.Flight = obs.NewFlightRecorder(FlightLen)
+// (wrapping ErrPanic) so a crashing run fails its own row instead of killing
+// the worker pool (or, sequentially, the whole batch). It pre-attaches the
+// crash flight recorder: created here, outside the run, so its ring survives
+// the panic unwinding out of core.Run and the failure report can dump what
+// the dying run was doing.
+func (o *Options) safeRun(label string, cfg core.Config) (sum *metrics.Summary, col *metrics.Collector, err error) {
+	if cfg.Flight == nil && o.FlightLen > 0 {
+		cfg.Flight = obs.NewFlightRecorder(o.FlightLen)
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("exp: %s: panic: %v\n%s", label, r, debug.Stack())
-			reportFailure(label, err, cfg.Flight)
+			err = fmt.Errorf("exp: %s: %w: %v\n%s", label, ErrPanic, r, debug.Stack())
+			o.reportFailure(label, err, cfg.Flight)
 		}
 	}()
-	return runFn(label, cfg)
+	return runFn(o, label, cfg)
 }
 
 // run executes all enqueued jobs and fires the render callbacks of the
@@ -76,13 +192,14 @@ func safeRun(label string, cfg core.Config) (sum *metrics.Summary, col *metrics.
 // do not stop the sweep: the remaining jobs still run, partial tables still
 // render, and the failures come back aggregated in a *SweepError.
 func (sw *sweep) run() error {
-	workers := Concurrency
+	o := sw.opt
+	workers := o.Concurrency
 	if workers > len(sw.jobs) {
 		workers = len(sw.jobs)
 	}
 	if workers <= 1 {
 		for _, j := range sw.jobs {
-			j.sum, j.col, j.err = safeRun(j.label, j.cfg)
+			j.sum, j.col, j.err = o.safeRun(j.label, j.cfg)
 		}
 	} else {
 		var next atomic.Int64
@@ -97,7 +214,7 @@ func (sw *sweep) run() error {
 						return
 					}
 					j := sw.jobs[i]
-					j.sum, j.col, j.err = safeRun(j.label, j.cfg)
+					j.sum, j.col, j.err = o.safeRun(j.label, j.cfg)
 				}
 			}()
 		}
@@ -125,6 +242,15 @@ type RunError struct {
 	Err   error
 }
 
+func (e *RunError) Error() string {
+	return fmt.Sprintf("exp: run %s failed: %s", e.Label, e.Err)
+}
+
+// Unwrap exposes the underlying failure so callers can classify it with
+// errors.Is/errors.As (core.ErrWallBudget, core.ErrMaxEvents, ErrPanic)
+// instead of string matching.
+func (e *RunError) Unwrap() error { return e.Err }
+
 // SweepError aggregates every failure of a sweep whose surviving runs still
 // rendered. Drivers return it alongside their partial tables.
 type SweepError struct {
@@ -138,6 +264,16 @@ func (e *SweepError) Error() string {
 		return fmt.Sprintf("exp: 1 of %d runs failed: %s", e.Total, first)
 	}
 	return fmt.Sprintf("exp: %d of %d runs failed; first: %s", len(e.Failed), e.Total, first)
+}
+
+// Unwrap exposes every failed run as an error, so errors.Is/errors.As walk
+// into a sweep's failures (each RunError unwraps further to its cause).
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i := range e.Failed {
+		errs[i] = &e.Failed[i]
+	}
+	return errs
 }
 
 // firstLine truncates multi-line error text (panic stacks) for one-line use.

@@ -70,7 +70,7 @@ func artifactsTrain(t *testing.T, id string, train, conc int) (samples, trace []
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(Tiny); err != nil {
+	if _, err := e.Run(Tiny, nil); err != nil {
 		t.Fatal(err)
 	}
 	return rec.SamplesCSV(), rec.TraceJSONL()

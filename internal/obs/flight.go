@@ -20,8 +20,9 @@ const (
 	// FlightFault is one injected fault transition: a=fault kind
 	// (faults.Kind numbering), b=link (-1 if none), c=switch (-1 if none).
 	FlightFault
-	// FlightWatchdog marks the wall-clock watchdog aborting the run:
-	// a=events fired so far.
+	// FlightWatchdog marks the watchdog aborting the run: a=events fired so
+	// far, b=the event-budget cap when the abort was a max-events kill
+	// (0 for a wall-clock kill).
 	FlightWatchdog
 	// FlightNote is a free-form record.
 	FlightNote
@@ -38,7 +39,7 @@ var flightFields = [numFlightKinds][3]string{
 	FlightEvent:    {"sched_ns", "pending", "seq"},
 	FlightDrop:     {"reason", "switch", "port"},
 	FlightFault:    {"fault_kind", "link", "switch"},
-	FlightWatchdog: {"events", "", ""},
+	FlightWatchdog: {"events", "max_events", ""},
 	FlightNote:     {"a", "b", "c"},
 }
 

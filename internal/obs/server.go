@@ -1,14 +1,17 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 )
 
@@ -98,15 +101,39 @@ func Handler(r *Registry, status func() any) http.Handler {
 }
 
 // Serve starts the debug server on addr (e.g. "127.0.0.1:9464", or ":0" for
-// an ephemeral port) and returns the bound address. The server runs until
-// the process exits; it is deliberately not tied to any one run's lifetime,
-// because the whole point is scraping a warm process across runs.
-func Serve(addr string, r *Registry, status func() any) (string, error) {
+// an ephemeral port) and returns the bound address plus a Closer that shuts
+// the server down and releases the listener. Callers that want the old
+// "runs until process exit" behavior — the -debug-addr flag on the batch
+// CLIs, where the whole point is scraping a warm process across runs —
+// simply never call Close; long-running daemons (vertigo-serve) wire the
+// Closer into their graceful-shutdown path so a drained process leaks
+// neither the port nor the server goroutine.
+func Serve(addr string, r *Registry, status func() any) (string, io.Closer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return "", nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	srv := &http.Server{Handler: Handler(r, status)}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), &serverCloser{srv: srv}, nil
+}
+
+// serverCloser shuts down the debug server: in-flight scrapes get a short
+// grace period, then the listener and all connections are torn down.
+type serverCloser struct {
+	srv  *http.Server
+	once sync.Once
+	err  error
+}
+
+func (c *serverCloser) Close() error {
+	c.once.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		c.err = c.srv.Shutdown(ctx)
+		if c.err != nil {
+			_ = c.srv.Close()
+		}
+	})
+	return c.err
 }

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. queued → running → {completed, failed}; transient failures
+// loop through backoff back to queued until the retry budget is spent.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateBackoff   State = "backoff" // waiting out a retry delay
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateCompleted || s == StateFailed }
+
+// Job is one accepted submission. Mutable fields are guarded by the
+// server's lock; the JSON view (view) is what the API returns.
+type Job struct {
+	ID       string
+	Spec     Spec
+	Hash     string
+	State    State
+	Attempt  int // completed attempts (0 while the first is in flight)
+	Error    string
+	Dir      string // artifact directory
+	Accepted time.Time
+	Finished time.Time
+
+	res *resolved
+	hub *hub
+}
+
+// JobView is the API representation of a job.
+type JobView struct {
+	ID          string `json:"id"`
+	Hash        string `json:"hash"`
+	Tenant      string `json:"tenant"`
+	Experiment  string `json:"experiment"`
+	Scale       string `json:"scale"`
+	State       State  `json:"state"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Error       string `json:"error,omitempty"`
+	ArtifactDir string `json:"artifact_dir,omitempty"`
+	Accepted    string `json:"accepted,omitempty"`
+	Finished    string `json:"finished,omitempty"`
+}
+
+// view renders the job for the API; callers hold the server lock.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:          j.ID,
+		Hash:        j.Hash,
+		Tenant:      j.Spec.Tenant,
+		Experiment:  j.Spec.Experiment,
+		Scale:       j.Spec.Scale,
+		State:       j.State,
+		Attempt:     j.Attempt,
+		Error:       j.Error,
+		ArtifactDir: j.Dir,
+	}
+	if !j.Accepted.IsZero() {
+		v.Accepted = j.Accepted.UTC().Format(time.RFC3339)
+	}
+	if !j.Finished.IsZero() {
+		v.Finished = j.Finished.UTC().Format(time.RFC3339)
+	}
+	return v
+}
+
+// Event is one SSE record of a job's stream: a type ("state" or "progress")
+// and a data line.
+type Event struct {
+	Type string
+	Data string
+}
+
+// hub fans a job's events out to its SSE subscribers. History is kept (the
+// stream is low-rate: state changes plus one line per simulation run), so
+// a late subscriber replays the whole story before going live.
+type hub struct {
+	mu      sync.Mutex
+	history []Event
+	subs    map[chan Event]struct{}
+	closed  bool
+}
+
+const hubHistoryCap = 1024
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan Event]struct{})}
+}
+
+// publish appends to history and forwards to every subscriber. A slow
+// subscriber (full channel) drops events rather than blocking a worker;
+// the history replay on reconnect recovers the gap.
+func (h *hub) publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if len(h.history) < hubHistoryCap {
+		h.history = append(h.history, ev)
+	}
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// close ends the stream: subscribers' channels are closed after history.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+		delete(h.subs, ch)
+	}
+}
+
+// subscribe returns the history so far and, unless the stream has ended, a
+// live channel (nil when closed) plus an unsubscribe func.
+func (h *hub) subscribe() ([]Event, chan Event, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist := make([]Event, len(h.history))
+	copy(hist, h.history)
+	if h.closed {
+		return hist, nil, func() {}
+	}
+	ch := make(chan Event, 64)
+	h.subs[ch] = struct{}{}
+	return hist, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// journalRec is one line of the job journal. "accept" carries the full
+// spec; "done" carries the terminal state. A job that has an accept but no
+// done was in flight (queued or running) when the process died — restart
+// re-enqueues it, so SIGKILL mid-burst loses no accepted work.
+type journalRec struct {
+	Ev    string `json:"ev"` // "accept" | "done"
+	ID    string `json:"id"`
+	Hash  string `json:"hash"`
+	Time  string `json:"t"`
+	State State  `json:"state,omitempty"` // done only
+	Error string `json:"error,omitempty"` // done+failed only
+	Spec  *Spec  `json:"spec,omitempty"`  // accept only
+}
+
+// journal is the append-only JSONL job log. Every record is flushed to the
+// OS before the append returns, so an accepted job survives a SIGKILL that
+// lands immediately after the 202 response.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// journalPath returns the journal file under a data dir.
+func journalPath(dataDir string) string { return filepath.Join(dataDir, "journal.jsonl") }
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(dataDir string) (*journal, error) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(journalPath(dataDir), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append writes one record and flushes it through to the OS.
+func (j *journal) append(rec journalRec) error {
+	rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("serve: journal closed")
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the journal file.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// replayJournal reads an existing journal and reconstructs every job's last
+// known state: accepted jobs in ID order, with terminal records folded in.
+// Unreadable lines are skipped (a SIGKILL can truncate the final line);
+// everything before them replays fine.
+func replayJournal(dataDir string) ([]journalRec, error) {
+	f, err := os.Open(journalPath(dataDir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []journalRec
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var rec journalRec
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn final write
+		}
+		recs = append(recs, rec)
+	}
+	return recs, sc.Err()
+}

@@ -83,18 +83,18 @@ type Engine struct {
 	// overflow is a 4-ary min-heap on (at, seq) holding events scheduled
 	// at least a full ring span past the cursor; migrate moves them into
 	// the ring as the cursor approaches.
-	overflow []heapNode
+	overflow    []heapNode
 	now         units.Time
 	curSched    units.Time // schedule time of the currently-firing event
 	curSchedCtx units.Time // schedule time of the event that scheduled the firing one
 	seq         uint64
-	seed     int64
-	rng      *rand.Rand
-	stopped  bool
-	fired    uint64
-	live     int      // scheduled minus tombstoned: the real pending work
-	free     []*event // recycled events: At/After/Sched allocate from here
-	cur      *event   // firing chainable frame, reusable in place by Sched
+	seed        int64
+	rng         *rand.Rand
+	stopped     bool
+	fired       uint64
+	live        int      // scheduled minus tombstoned: the real pending work
+	free        []*event // recycled events: At/After/Sched allocate from here
+	cur         *event   // firing chainable frame, reusable in place by Sched
 
 	// Self-instrumentation (see Stats).
 	freeHits    uint64 // alloc calls served from the free list
@@ -105,6 +105,10 @@ type Engine struct {
 	// Wall-clock watchdog (see SetWallDeadline).
 	wallDeadline time.Time
 	deadlineHit  bool
+
+	// Event-budget cap (see SetMaxEvents).
+	maxEvents    uint64
+	maxEventsHit bool
 
 	// Introspection plane (see internal/obs). pub* shadow the counters
 	// above at their last publish into the process-global registry, so the
@@ -414,6 +418,22 @@ func (e *Engine) SetWallDeadline(d time.Duration) {
 // watchdog armed with SetWallDeadline.
 func (e *Engine) DeadlineExceeded() bool { return e.deadlineHit }
 
+// SetMaxEvents arms an event-budget cap: Run aborts once at least n events
+// have fired. Unlike the wall-clock watchdog the cap is a pure function of
+// the event count, so where a capped run is truncated is deterministic —
+// a runaway scenario aborts at the same event on every machine. The check
+// shares the watchdog's once-per-16Ki-events cadence, so the abort lands on
+// the first check at or past n, never mid-stride through the hot loop.
+// Zero disarms the cap. Callers treat a capped run as a failure, never as
+// a result.
+func (e *Engine) SetMaxEvents(n uint64) {
+	e.maxEvents = n
+}
+
+// MaxEventsExceeded reports whether a Run was aborted by the event-budget
+// cap armed with SetMaxEvents.
+func (e *Engine) MaxEventsExceeded() bool { return e.maxEventsHit }
+
 // wallCheckMask throttles the watchdog to one clock read per 16 Ki events.
 const wallCheckMask = 1<<14 - 1
 
@@ -483,6 +503,12 @@ func (e *Engine) Run(until units.Time) units.Time {
 			if watchdog && time.Now().After(e.wallDeadline) {
 				e.deadlineHit = true
 				e.flight.Record(obs.FlightWatchdog, int64(e.now), int64(e.fired), 0, 0)
+				e.stopped = true
+				break
+			}
+			if e.maxEvents > 0 && e.fired >= e.maxEvents {
+				e.maxEventsHit = true
+				e.flight.Record(obs.FlightWatchdog, int64(e.now), int64(e.fired), int64(e.maxEvents), 0)
 				e.stopped = true
 				break
 			}
