@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-serve vet bench bench-core bench-obs bench-run bench-gate bench-merge exp-small exp-medium examples clean
+.PHONY: all build test test-short race race-serve vet bench bench-core bench-obs bench-run bench-scale bench-gate bench-merge exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -58,25 +58,38 @@ bench-obs:
 # is sticky: -prev carries the recorded pre-optimization reference
 # forward so improvement_pct always reads against the same run.
 bench-run:
-	@{ $(GO) test -run '^$$' -bench 'BenchmarkRunThroughput' -benchtime 3x . && \
+	@{ $(GO) test -run '^$$' -bench 'BenchmarkRunThroughput$$' -benchtime 3x . && \
 	   $(GO) test -run '^$$' -bench 'BenchmarkDatapath' -benchmem -benchtime 200000x . ; } \
 	  | $(GO) run ./cmd/benchjson -prev BENCH_run.json -out BENCH_run.json
 	@echo "BENCH_run.json:" && cat BENCH_run.json
 
+# Standing million-flow benchmark: the scale=huge k=16 fat-tree scenario
+# (1024 hosts, >1M flows in 10 simulated ms) run end-to-end once, recording
+# pkts/s, flows/run and the process peak RSS as BENCH_scale.json. Run it
+# alone: peak RSS is a process high-water mark, so sharing the process with
+# other benchmarks would inflate the reading. The pkts/s baseline is sticky,
+# like bench-run's.
+bench-scale:
+	@$(GO) test -run '^$$' -bench 'BenchmarkRunThroughputHuge' -benchtime 1x -timeout 30m . \
+	  | $(GO) run ./cmd/benchjson -prev BENCH_scale.json -out BENCH_scale.json
+	@echo "BENCH_scale.json:" && cat BENCH_scale.json
+
 # Apply the CI perf gates to the committed benchmark blobs: the core
 # cancel-churn delta must hold its >=20% win, whole-run pkts/s may not
-# regress more than 10% against the sticky baseline, and the per-packet
-# datapath and metrics-registry benches must stay alloc-free. Same
-# invocations CI runs.
+# regress more than 10% against the sticky baseline, the per-packet
+# datapath and metrics-registry benches must stay alloc-free, and the
+# million-flow scale run must hold its pkts/s and fit the 2 GiB peak-RSS
+# envelope. Same invocations CI runs.
 bench-gate:
 	$(GO) run ./cmd/benchgate -min-improve 20 -zero-alloc BenchmarkEngine -zero-alloc BenchmarkRegistry BENCH_core.json
 	$(GO) run ./cmd/benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
+	$(GO) run ./cmd/benchgate -max-regress 10 -max-rss-mb 2048 BENCH_scale.json
 
 # Fold the per-suite blobs into BENCH.json, keyed by git revision, so the
 # perf trajectory across PRs lives in one file.
 bench-merge:
 	$(GO) run ./cmd/benchjson -merge -rev $$(git rev-parse --short HEAD) \
-	  -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json
+	  -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json BENCH_scale.json
 	@echo "BENCH.json:" && cat BENCH.json
 
 # Regenerate every paper table/figure from the CLI.

@@ -7,6 +7,7 @@ package vertigo_test
 // gates regressions, the same way BENCH_core.json tracks events/sec.
 
 import (
+	"syscall"
 	"testing"
 
 	"vertigo/internal/core"
@@ -62,6 +63,70 @@ func BenchmarkRunThroughput(b *testing.B) {
 		b.ReportMetric(float64(pkts)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		b.ReportMetric(float64(pkts), "pkts/run")
 	}
+}
+
+// runHugeConfig is the frozen scale=huge scenario: the Huge preset's k=16
+// fat-tree (1024 hosts) under a 40% incast-only load of 4 KB flows —
+// over a million flows in 10 simulated milliseconds. Flow churn, not byte
+// volume, is the stressor: it exercises sender/receiver slab recycling,
+// streaming-only metrics past the raw-series cutover, and the
+// allocation-lean FIB build.
+func runHugeConfig() core.Config {
+	sc := exp.Huge
+	cfg := core.DefaultConfig(fabric.Vertigo, transport.DCTCP)
+	cfg.Seed = sc.Seed
+	cfg.SimTime = sc.SimTime
+	cfg.Kind = core.FatTree
+	cfg.FatTreeCfg = topo.FatTreeConfig{
+		K:         sc.FatTreeK,
+		Rate:      10 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	}
+	cfg.IncastScale = sc.IncastScale
+	cfg.IncastFlowSize = int64(sc.IncastFlowKB) * 1000
+	cfg.BGLoad = 0
+	cfg.SetIncastLoad(0.40)
+	return cfg
+}
+
+// BenchmarkRunThroughputHuge runs the scale=huge scenario end-to-end and
+// reports pkts/s, flows/run and the process peak RSS ("peak_rss_mb"). The
+// RSS figure is the process high-water mark, so run this benchmark alone
+// (as `make bench-scale` does) when gating on it.
+func BenchmarkRunThroughputHuge(b *testing.B) {
+	cfg := runHugeConfig()
+	var pkts, flows int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = res.Summary.PacketsSent
+		flows = int64(res.Summary.FlowsStarted)
+	}
+	b.StopTimer()
+	if flows < 1_000_000 {
+		b.Fatalf("scale=huge started %d flows, want >= 1M", flows)
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(pkts)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		b.ReportMetric(float64(flows), "flows/run")
+	}
+	if rss := peakRSSMB(); rss > 0 {
+		b.ReportMetric(rss, "peak_rss_mb")
+	}
+}
+
+// peakRSSMB returns the process's peak resident set size in MiB, or 0 when
+// unavailable.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports ru_maxrss in KiB.
+	return float64(ru.Maxrss) / 1024
 }
 
 // --- datapath steady-state allocation benchmarks -----------------------------
@@ -131,15 +196,22 @@ func BenchmarkDatapathDRILLAllocs(b *testing.B) {
 	net, eng := benchFabric(b, fabric.DRILL)
 	var ids packet.IDGen
 	sw := net.Switch(4) // a leaf switch: has spine uplinks to balance over
-	p := &packet.Packet{ID: ids.Next(), Kind: packet.Data, Src: 0, Dst: 15,
-		Flow: 7, PayloadLen: packet.MSS}
-	sw.Receive(p)
+	// The destination host consumes each delivered packet with Pool().Put,
+	// so every injected packet must come from the pool: Get and Put balance
+	// and the free list stays flat. Injecting one stack packet repeatedly
+	// would grow the free list by one frame per iteration.
+	inject := func() {
+		p := net.Pool().Get()
+		*p = packet.Packet{ID: ids.Next(), Kind: packet.Data, Src: 0, Dst: 15,
+			Flow: 7, PayloadLen: packet.MSS}
+		sw.Receive(p)
+	}
+	inject()
 	eng.Run(eng.Now() + units.Millisecond)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.Hops = 0
-		sw.Receive(p)
+		inject()
 		eng.Run(eng.Now() + 50*units.Microsecond) // drain so queues stay shallow
 	}
 }

@@ -5,12 +5,14 @@
 //
 //	benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
 //	benchgate -min-improve 20 -zero-alloc BenchmarkEngine BENCH_core.json
+//	benchgate -max-regress 10 -max-rss-mb 2048 BENCH_scale.json
 //
 // -max-regress bounds how far the headline metric (pkts/s for the run
 // report, events/s for the core report) may fall below its recorded
 // baseline; -min-improve demands it stay at least that far above.
 // -zero-alloc requires every benchmark whose name starts with the given
-// prefix to report exactly 0 allocs/op; it may be repeated.
+// prefix to report exactly 0 allocs/op; it may be repeated. -max-rss-mb
+// bounds the scale run's recorded process peak RSS.
 package main
 
 import (
@@ -27,6 +29,7 @@ type report struct {
 	Benchmarks    []benchmark    `json:"benchmarks"`
 	CancelChurn   *comparison    `json:"cancel_churn"`
 	RunThroughput *runThroughput `json:"run_throughput"`
+	ScaleRun      *scaleRun      `json:"scale_run"`
 }
 
 type benchmark struct {
@@ -48,6 +51,14 @@ type runThroughput struct {
 	ImprovementPct     float64 `json:"improvement_pct"`
 }
 
+type scaleRun struct {
+	BaselinePktsPerSec float64 `json:"baseline_pkts_per_sec"`
+	PktsPerSec         float64 `json:"pkts_per_sec"`
+	FlowsPerRun        float64 `json:"flows_per_run"`
+	PeakRSSMB          float64 `json:"peak_rss_mb"`
+	ImprovementPct     float64 `json:"improvement_pct"`
+}
+
 // prefixList collects repeated -zero-alloc flags.
 type prefixList []string
 
@@ -59,6 +70,8 @@ func main() {
 		"fail if the headline metric regresses more than this percent below baseline")
 	minImprove := flag.Float64("min-improve", -1,
 		"fail if the headline metric improves less than this percent over baseline")
+	maxRSS := flag.Float64("max-rss-mb", -1,
+		"fail if the scale run's peak RSS exceeds this many MiB")
 	var zeroAlloc prefixList
 	flag.Var(&zeroAlloc, "zero-alloc",
 		"require 0 allocs/op for benchmarks with this name prefix (repeatable)")
@@ -88,6 +101,11 @@ func main() {
 	headline := ""
 	var oldV, newV, deltaPct float64
 	switch {
+	case rep.ScaleRun != nil:
+		headline = "pkts/s (scale=huge)"
+		oldV = rep.ScaleRun.BaselinePktsPerSec
+		newV = rep.ScaleRun.PktsPerSec
+		deltaPct = rep.ScaleRun.ImprovementPct
 	case rep.RunThroughput != nil:
 		headline = "pkts/s"
 		oldV = rep.RunThroughput.BaselinePktsPerSec
@@ -112,6 +130,23 @@ func main() {
 		}
 	} else if *maxRegress >= 0 || *minImprove >= 0 {
 		fail("report carries no headline comparison to gate on")
+	}
+
+	// Memory-envelope gate: the scale run's process peak RSS must fit the
+	// CI budget — the sublinear-memory claim turned into a hard bound.
+	if *maxRSS >= 0 {
+		switch {
+		case rep.ScaleRun == nil:
+			fail("report carries no scale_run block to gate peak RSS on")
+		case rep.ScaleRun.PeakRSSMB <= 0:
+			fail("scale run recorded no peak RSS")
+		case rep.ScaleRun.PeakRSSMB > *maxRSS:
+			fail("scale run peak RSS %.0f MiB exceeds the %.0f MiB envelope",
+				rep.ScaleRun.PeakRSSMB, *maxRSS)
+		default:
+			fmt.Printf("%-48s %.0f MiB peak RSS (envelope %.0f MiB)  ok\n",
+				"scale=huge", rep.ScaleRun.PeakRSSMB, *maxRSS)
+		}
 	}
 
 	// Alloc gates: every matching benchmark must exist and be alloc-free.

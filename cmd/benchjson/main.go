@@ -50,6 +50,10 @@ type Report struct {
 	// with -prev carries the recorded pre-optimization number forward, so
 	// improvement_pct always reads against the same reference run.
 	RunThroughput *RunThroughput `json:"run_throughput,omitempty"`
+	// ScaleRun tracks BenchmarkRunThroughputHuge, the million-flow
+	// scale=huge gauge: pkts/s with the same sticky-baseline discipline as
+	// RunThroughput, plus the run's peak RSS for the memory-envelope gate.
+	ScaleRun *ScaleRun `json:"scale_run,omitempty"`
 }
 
 // RunThroughput is the whole-run packets/sec comparison.
@@ -57,6 +61,16 @@ type RunThroughput struct {
 	BaselinePktsPerSec float64 `json:"baseline_pkts_per_sec"`
 	PktsPerSec         float64 `json:"pkts_per_sec"`
 	PktsPerRun         float64 `json:"pkts_per_run"`
+	// ImprovementPct is (pkts_per_sec/baseline - 1) * 100.
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// ScaleRun is the scale=huge (million-flow) comparison.
+type ScaleRun struct {
+	BaselinePktsPerSec float64 `json:"baseline_pkts_per_sec"`
+	PktsPerSec         float64 `json:"pkts_per_sec"`
+	FlowsPerRun        float64 `json:"flows_per_run"`
+	PeakRSSMB          float64 `json:"peak_rss_mb"`
 	// ImprovementPct is (pkts_per_sec/baseline - 1) * 100.
 	ImprovementPct float64 `json:"improvement_pct"`
 }
@@ -124,6 +138,23 @@ func main() {
 			BaselinePktsPerSec: base,
 			PktsPerSec:         cur,
 			PktsPerRun:         rt.Metrics["pkts/run"],
+			ImprovementPct:     (cur/base - 1) * 100,
+		}
+	}
+	if sr := find(rep.Benchmarks, "BenchmarkRunThroughputHuge"); sr != nil && sr.Metrics["pkts/s"] > 0 {
+		cur := sr.Metrics["pkts/s"]
+		base := 0.0
+		if *prev != "" {
+			base = prevScaleBaseline(*prev)
+		}
+		if base == 0 {
+			base = cur // bootstrap: first report is its own reference
+		}
+		rep.ScaleRun = &ScaleRun{
+			BaselinePktsPerSec: base,
+			PktsPerSec:         cur,
+			FlowsPerRun:        sr.Metrics["flows/run"],
+			PeakRSSMB:          sr.Metrics["peak_rss_mb"],
 			ImprovementPct:     (cur/base - 1) * 100,
 		}
 	}
@@ -212,6 +243,19 @@ func prevBaseline(path string) float64 {
 		return 0
 	}
 	return rep.RunThroughput.BaselinePktsPerSec
+}
+
+// prevScaleBaseline is prevBaseline for the scale=huge comparison.
+func prevScaleBaseline(path string) float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var rep Report
+	if json.Unmarshal(data, &rep) != nil || rep.ScaleRun == nil {
+		return 0
+	}
+	return rep.ScaleRun.BaselinePktsPerSec
 }
 
 // mergeReports folds the given BENCH_*.json files into one revision-keyed

@@ -1,0 +1,86 @@
+package arena
+
+import "testing"
+
+func TestGetReturnsRequestedCapacity(t *testing.T) {
+	var a Pool[int]
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 100, 1 << 10, (1 << 10) + 1} {
+		s := a.Get(n)
+		if len(s) != 0 || cap(s) < n {
+			t.Fatalf("Get(%d): len=%d cap=%d", n, len(s), cap(s))
+		}
+	}
+}
+
+func TestRecycleRoundTrip(t *testing.T) {
+	var a Pool[int]
+	s := a.Get(100)
+	s = append(s, 1, 2, 3)
+	a.Put(s)
+	r := a.Get(100)
+	if cap(r) < 100 || len(r) != 0 {
+		t.Fatalf("recycled: len=%d cap=%d", len(r), cap(r))
+	}
+	if a.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", a.Hits())
+	}
+	// Zeroed on Put: stale contents must not leak through a reslice.
+	r = r[:3]
+	if r[0] != 0 || r[1] != 0 || r[2] != 0 {
+		t.Fatalf("recycled array not zeroed: %v", r)
+	}
+}
+
+func TestPointerSlicesZeroedOnPut(t *testing.T) {
+	var a Pool[*int]
+	x := new(int)
+	s := a.Get(8)
+	s = append(s, x, x, x)
+	a.Put(s)
+	full := s[:cap(s)]
+	for i, p := range full {
+		if p != nil {
+			t.Fatalf("element %d still pins pointer after Put", i)
+		}
+	}
+}
+
+func TestLooseFitOneClassUp(t *testing.T) {
+	var a Pool[byte]
+	a.Put(make([]byte, 0, 16))
+	if s := a.Get(7); cap(s) < 16 {
+		// class 3 empty; class 4's array is an acceptable loose fit
+		t.Fatalf("Get(7) allocated fresh (cap=%d) with a class-up array available", cap(s))
+	}
+	if a.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", a.Hits())
+	}
+}
+
+func TestClassRetentionBounded(t *testing.T) {
+	var a Pool[int]
+	for i := 0; i < 3*maxPerClass; i++ {
+		a.Put(make([]int, 0, 64))
+	}
+	if got := len(a.classes[6]); got != maxPerClass {
+		t.Fatalf("class retained %d arrays, want %d", got, maxPerClass)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	var a Pool[byte]
+	a.Put(nil)             // no-op
+	a.Put(make([]byte, 0)) // zero cap: no-op
+	if s := a.Get(0); cap(s) < 1 {
+		t.Fatalf("Get(0) returned cap %d", cap(s))
+	}
+	// Above the largest recyclable class: served exactly, never recycled.
+	big := a.Get(1 << numClasses)
+	if cap(big) < 1<<numClasses {
+		t.Fatalf("oversized Get returned cap %d", cap(big))
+	}
+	a.Put(big)
+	if a.Get(1<<numClasses) != nil && a.Hits() != 0 {
+		t.Fatal("oversized array was recycled")
+	}
+}

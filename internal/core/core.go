@@ -340,11 +340,17 @@ func Run(cfg Config) (*Result, error) {
 	ocfg.Discipline = cfg.Marker.Discipline
 	ocfg.BoostFactorLog2 = cfg.Marker.BoostFactorLog2
 
+	// Connection state lives in slab-backed pools: sender and receiver
+	// slots recycle as flows complete, so a run's transport footprint is
+	// O(peak concurrent flows), not O(flows started).
+	senders := transport.NewSenderPool(cfg.Transport)
+	receivers := transport.NewReceiverPool(eng, net, met, ids)
+
 	hosts := make([]*host.Host, t.NumHosts)
 	for i := 0; i < t.NumHosts; i++ {
 		h := host.NewHost(i, eng, net, met, cfg.Marker, ocfg, vertigoStack)
 		h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
-			return transport.NewReceiver(h, met, ids, first)
+			return receivers.Accept(h, first)
 		})
 		hosts[i] = h
 	}
@@ -358,7 +364,7 @@ func Run(cfg Config) (*Result, error) {
 			Incast: incast,
 			Query:  query,
 		}
-		transport.NewSender(hosts[src], met, cfg.Transport, ids, spec, nil).Start()
+		senders.Get(hosts[src], met, ids, spec, nil).Start()
 	}
 
 	if cfg.BGLoad > 0 {

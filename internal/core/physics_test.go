@@ -67,11 +67,12 @@ func TestPhysicsBottleneckGoodputAtLineRate(t *testing.T) {
 	// 80 MB over a 10G link = 64 ms minimum. FCT of the later finisher
 	// bounds the active period.
 	var latest units.Time
-	for _, f := range res.Collector.Flows {
+	res.Collector.RangeFlows(func(f *metrics.FlowRecord) bool {
 		if f.End > latest {
 			latest = f.End
 		}
-	}
+		return true
+	})
 	goodput := 8 * 80_000_000 / latest.Seconds() // bits per second
 	// DCTCP sustains ~80%+ here; the shortfall from 100% is the real cost of
 	// synchronized loss cycles plus NewReno's one-hole-per-RTT recovery.
@@ -107,12 +108,13 @@ func TestPhysicsFairSharing(t *testing.T) {
 		}
 		var s, sq float64
 		var fcts []float64
-		for _, f := range res.Collector.Flows {
+		res.Collector.RangeFlows(func(f *metrics.FlowRecord) bool {
 			v := f.FCT().Seconds()
 			fcts = append(fcts, v)
 			s += v
 			sq += v * v
-		}
+			return true
+		})
 		jain := s * s / (float64(len(fcts)) * sq)
 		t.Logf("seed %d: FCTs %v Jain %.3f", seed, fcts, jain)
 		sum += jain

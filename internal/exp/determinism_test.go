@@ -3,6 +3,11 @@ package exp
 import (
 	"bytes"
 	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/metrics"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
 )
 
 // renderAll runs the experiment at Tiny scale and returns every table
@@ -41,5 +46,52 @@ func TestParallelSweepDeterminism(t *testing.T) {
 			t.Errorf("%s: parallel render differs from sequential:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
 				id, seq, par)
 		}
+	}
+}
+
+// TestFatTreeK16SweepDeterminism extends the -j1/-j8 byte-identity guarantee
+// to the scale=huge topology class: a short sweep on the k=16 fat-tree
+// (1024 hosts) renders identical tables sequentially and on 8 workers. The
+// horizon is sub-millisecond so the test stays unit-test sized while still
+// exercising the allocation-lean k=16 build and per-run state recycling
+// under concurrent sweeps.
+func TestFatTreeK16SweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	sc := Scale{
+		Name: "k16det", Spines: 8, Leaves: 16, HostsPerLeaf: 64, FatTreeK: 16,
+		SimTime: 200 * units.Microsecond, IncastScale: 16, IncastFlowKB: 4, Seed: 1,
+	}
+	render := func(workers int) []byte {
+		opt := DefaultOptions()
+		opt.Concurrency = workers
+		tbl := &Table{
+			ID:      "k16det",
+			Title:   "fat-tree k=16 determinism probe",
+			Columns: []string{"system", "flows", "pkts", "drops", "FCT_p99", "QCT_mean"},
+		}
+		sw := newSweep(opt)
+		for _, p := range []fabric.Policy{fabric.ECMP, fabric.DIBS, fabric.Vertigo} {
+			p := p
+			cfg := withLoads(fatTreeConfig(sc, p, transport.DCTCP), 0.10, 0.40)
+			sw.add("k16det/"+p.String(), cfg,
+				func(s *metrics.Summary, _ *metrics.Collector) {
+					tbl.Add(schemeName(p, transport.DCTCP), s.FlowsStarted,
+						s.PacketsSent, s.Drops, s.P99FCT, s.MeanQCT)
+				})
+		}
+		if err := sw.run(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tbl.Fprint(&buf)
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("k=16 parallel render differs from sequential:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+			seq, par)
 	}
 }

@@ -65,6 +65,16 @@ var (
 		Name: "paper", Spines: 4, Leaves: 8, HostsPerLeaf: 40, FatTreeK: 8,
 		SimTime: 5 * units.Second, IncastScale: 100, IncastFlowKB: 40, Seed: 1,
 	}
+	// Huge is the million-flow scale exercise: 1024 hosts (k=16 fat-tree /
+	// 16x64 leaf-spine) under an incast-dominated mix of small flows, so ten
+	// simulated milliseconds start over a million flows while keeping byte
+	// volume CI-sized. It stresses slab recycling, the streaming metrics
+	// store and topology build cost rather than per-flow dynamics; used by
+	// BenchmarkRunThroughputHuge and the bench-scale CI job.
+	Huge = Scale{
+		Name: "huge", Spines: 8, Leaves: 16, HostsPerLeaf: 64, FatTreeK: 16,
+		SimTime: 10 * units.Millisecond, IncastScale: 32, IncastFlowKB: 4, Seed: 1,
+	}
 )
 
 // ScaleByName resolves a scale preset.
@@ -78,8 +88,10 @@ func ScaleByName(name string) (Scale, error) {
 		return Medium, nil
 	case "paper":
 		return Paper, nil
+	case "huge":
+		return Huge, nil
 	}
-	return Scale{}, fmt.Errorf("exp: unknown scale %q (tiny|small|medium|paper)", name)
+	return Scale{}, fmt.Errorf("exp: unknown scale %q (tiny|small|medium|paper|huge)", name)
 }
 
 // Hosts returns the host count of the leaf-spine variant of the scale.

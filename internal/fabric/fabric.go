@@ -7,6 +7,7 @@ package fabric
 import (
 	"fmt"
 
+	"vertigo/internal/arena"
 	"vertigo/internal/buffer"
 	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
@@ -172,6 +173,13 @@ type Network struct {
 	hostRecv []Receiver   // host ingress handlers
 	obs      Observer     // optional telemetry observer
 	pool     *packet.Pool // per-simulation packet free list
+
+	// Shared arenas for burst-grown in-flight FIFOs: a port whose wire
+	// drains empty returns oversized backing arrays here instead of pinning
+	// them, so a large fabric's memory tracks concurrent wire occupancy, not
+	// the historical worst burst of every port.
+	infP arena.Pool[*packet.Packet]
+	infT arena.Pool[units.Time]
 
 	// Live forwarding state, mutable by fault injection (see fault methods
 	// below): the FIB consulted by every switch (initially Topo.FIB, swapped
@@ -344,11 +352,14 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 		}
 	}
 	// Host NICs: effectively unbounded egress FIFO; transports self-limit.
+	// One slab for all NIC ports, same as switch ports.
+	nicSlab := make([]Port, t.NumHosts)
 	n.hostNIC = make([]*Port, t.NumHosts)
 	for h := 0; h < t.NumHosts; h++ {
 		link := t.Links[t.HostLink[h]]
 		tor := n.switches[t.HostToR[h]]
-		n.hostNIC[h] = &Port{
+		pt := &nicSlab[h]
+		*pt = Port{
 			net:     n,
 			sw:      -1,
 			idx:     h,
@@ -358,7 +369,8 @@ func New(eng *sim.Engine, t *topo.Topology, met *metrics.Collector, cfg Config) 
 			delay:   link.Delay,
 			deliver: tor.Receive,
 		}
-		n.hostNIC[h].initTx()
+		n.hostNIC[h] = pt
+		pt.initTx()
 	}
 	// Seed each port's private positional jitter stream from the engine seed
 	// and the port's identity. Per-port streams are what let train planning
@@ -813,9 +825,7 @@ func (pt *Port) initTx() {
 		// grow the slices without bound (only a handful of packets fit in
 		// one propagation delay, so the copy is tiny).
 		if pt.infHead == len(pt.inflight) {
-			pt.inflight = pt.inflight[:0]
-			pt.inflightAt = pt.inflightAt[:0]
-			pt.infHead = 0
+			pt.releaseInflight()
 		} else if pt.infHead > 32 && pt.infHead*2 >= len(pt.inflight) {
 			pt.inflight = append(pt.inflight[:0], pt.inflight[pt.infHead:]...)
 			pt.inflightAt = append(pt.inflightAt[:0], pt.inflightAt[pt.infHead:]...)
@@ -904,6 +914,44 @@ func (pt *Port) sync(now units.Time) {
 	}
 }
 
+// keepInflight is the largest in-flight FIFO capacity a drained port keeps;
+// burst-grown backing arrays past it return to the network's shared arena.
+const keepInflight = 64
+
+// pushInflight appends a committed packet to the in-flight FIFO, growing
+// the parallel arrays through the network's shared arena.
+func (pt *Port) pushInflight(p *packet.Packet, at units.Time) {
+	if n := len(pt.inflight); n == cap(pt.inflight) || n == cap(pt.inflightAt) {
+		need := 2 * n
+		if need < 8 {
+			need = 8
+		}
+		np := pt.net.infP.Get(need)[:n]
+		nt := pt.net.infT.Get(need)[:n]
+		copy(np, pt.inflight)
+		copy(nt, pt.inflightAt)
+		pt.net.infP.Put(pt.inflight)
+		pt.net.infT.Put(pt.inflightAt)
+		pt.inflight, pt.inflightAt = np, nt
+	}
+	pt.inflight = append(pt.inflight, p)
+	pt.inflightAt = append(pt.inflightAt, at)
+}
+
+// releaseInflight resets a fully drained FIFO — the port-quiesce moment —
+// returning burst-grown backing arrays to the shared arena.
+func (pt *Port) releaseInflight() {
+	if cap(pt.inflight) > keepInflight || cap(pt.inflightAt) > keepInflight {
+		pt.net.infP.Put(pt.inflight)
+		pt.net.infT.Put(pt.inflightAt)
+		pt.inflight, pt.inflightAt = nil, nil
+	} else {
+		pt.inflight = pt.inflight[:0]
+		pt.inflightAt = pt.inflightAt[:0]
+	}
+	pt.infHead = 0
+}
+
 // commitHead pops the plan's first uncommitted segment from the queue and
 // moves it to the in-flight list, exactly as the per-packet engine did at
 // the segment's start time.
@@ -912,8 +960,7 @@ func (pt *Port) commitHead() {
 	if pt.wasDown && p.Kind == packet.Data {
 		pt.net.Met.PostRecoveryTx++
 	}
-	pt.inflight = append(pt.inflight, p)
-	pt.inflightAt = append(pt.inflightAt, pt.planEnd[pt.planHead]+pt.delay)
+	pt.pushInflight(p, pt.planEnd[pt.planHead]+pt.delay)
 	pt.planHead++
 	// Chain rule: per-packet mode schedules the next pop inside this one,
 	// so the new head's pop is scheduled at the committed segment's start
@@ -1194,8 +1241,7 @@ func (pt *Port) sendOne(now, vs units.Time) {
 		pt.net.drop(pt.sw, pt.idx, p, metrics.DropCorrupt)
 		return
 	}
-	pt.inflight = append(pt.inflight, p)
-	pt.inflightAt = append(pt.inflightAt, end+pt.delay)
+	pt.pushInflight(p, end+pt.delay)
 	pt.rearmArrive()
 }
 
@@ -1221,6 +1267,10 @@ type Switch struct {
 func newSwitch(n *Network, id int) *Switch {
 	s := &Switch{net: n, id: id, drillMem: flowtab.New[int32](8)}
 	nports := n.Topo.Ports(id)
+	// One contiguous slab for the switch's ports: a k=32 fat-tree has ~41k
+	// ports, and per-port allocations both fragment the heap and scatter the
+	// hot per-port wire state.
+	slab := make([]Port, nports)
 	s.ports = make([]*Port, nports)
 	for p := 0; p < nports; p++ {
 		var q buffer.Queue
@@ -1231,8 +1281,10 @@ func newSwitch(n *Network, id int) *Switch {
 		} else {
 			q = buffer.NewDropTail(n.Cfg.BufferBytes)
 		}
-		s.ports[p] = &Port{net: n, sw: id, idx: p, q: q, sorted: sq}
-		s.ports[p].initTx()
+		pt := &slab[p]
+		pt.net, pt.sw, pt.idx, pt.q, pt.sorted = n, id, p, q, sq
+		s.ports[p] = pt
+		pt.initTx()
 	}
 	return s
 }

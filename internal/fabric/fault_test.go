@@ -52,11 +52,11 @@ func TestDoubleFailSameLinkIsIdempotent(t *testing.T) {
 	if net.LinkDown(4) {
 		t.Fatal("link still down after recovery")
 	}
-	if len(met.Recoveries) != 1 {
-		t.Fatalf("recorded %d recoveries, want 1", len(met.Recoveries))
+	if met.RecoveryCount() != 1 {
+		t.Fatalf("recorded %d recoveries, want 1", met.RecoveryCount())
 	}
-	if want := 20 * units.Microsecond; met.Recoveries[0] != want {
-		t.Fatalf("downtime = %v, want %v (from the first failure)", met.Recoveries[0], want)
+	if want := 20 * units.Microsecond; met.MTTR() != want {
+		t.Fatalf("downtime = %v, want %v (from the first failure)", met.MTTR(), want)
 	}
 }
 
@@ -138,8 +138,8 @@ func TestRecoveredLinkCarriesTraffic(t *testing.T) {
 	if met.PostRecoveryTx == 0 {
 		t.Fatal("PostRecoveryTx = 0: recovered link's traffic not accounted")
 	}
-	if len(met.Recoveries) != 1 || met.Recoveries[0] != 100*units.Microsecond {
-		t.Fatalf("recoveries = %v, want one 100µs outage", met.Recoveries)
+	if met.RecoveryCount() != 1 || met.MTTR() != 100*units.Microsecond {
+		t.Fatalf("recoveries = %d (MTTR %v), want one 100µs outage", met.RecoveryCount(), met.MTTR())
 	}
 }
 

@@ -57,8 +57,8 @@ func TestInjectorLifecycle(t *testing.T) {
 	if met.FIBInstalls != 2 {
 		t.Fatalf("FIBInstalls = %d, want 2 (one per transition)", met.FIBInstalls)
 	}
-	if len(met.Recoveries) != 1 || met.Recoveries[0] != 90*units.Microsecond {
-		t.Fatalf("recoveries = %v, want one 90µs outage", met.Recoveries)
+	if met.RecoveryCount() != 1 || met.MTTR() != 90*units.Microsecond {
+		t.Fatalf("recoveries = %d (MTTR %v), want one 90µs outage", met.RecoveryCount(), met.MTTR())
 	}
 }
 

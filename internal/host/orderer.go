@@ -1,6 +1,7 @@
 package host
 
 import (
+	"vertigo/internal/arena"
 	"vertigo/internal/flowtab"
 	"vertigo/internal/metrics"
 	"vertigo/internal/packet"
@@ -27,28 +28,30 @@ func DefaultOrdererConfig() OrdererConfig {
 	return OrdererConfig{Timeout: 360 * units.Microsecond, Discipline: SRPT, BoostFactorLog2: 1}
 }
 
-// ooEntry is one buffered out-of-order packet.
-type ooEntry struct {
-	p       *packet.Packet
-	v       uint32 // un-boosted position value
-	arrived units.Time
-}
-
 // orderFlow is the per-flow state of the Fig. 4 state machine. The three
 // paper states map onto the fields: Init ⇔ no state, In-order Receive ⇔
-// empty buf, Out-of-order Receive ⇔ non-empty buf (timer armed).
+// empty buffer, Out-of-order Receive ⇔ non-empty buffer (timer armed).
 //
 // Entries live in the flow table's slab and are recycled: newFlow resets
-// the semantic fields while buf keeps its backing array, and the timer
-// callbacks — built once per slab slot around a stable table ref — are
-// shared by every flow that ever occupies the slot.
+// the semantic fields while the buffer keeps its backing arrays, and the
+// timer callbacks — built once per slab slot around a stable table ref —
+// are shared by every flow that ever occupies the slot.
+//
+// The reorder buffer is struct-of-arrays: held packet i of the live window
+// [head, len) is (bufP[i], bufV[i], bufAt[i]). Splitting the former
+// 24-byte entry struct keeps the position values bufferEarly binary-searches
+// densely packed — sixteen uint32 per cache line instead of two entries —
+// and lets each array recycle through the orderer's shared arena
+// independently when a burst-grown flow quiesces.
 type orderFlow struct {
 	hasExpected bool
 	finished    bool   // flow fully delivered; state lingers as a tombstone
 	expected    uint32 // position value of the next in-order packet
 	finishedAt  units.Time
-	head        int // index of the first live entry in buf
-	buf         []ooEntry
+	head        int              // index of the first live entry
+	bufP        []*packet.Packet // held packets, flow order
+	bufV        []uint32         // their un-boosted position values
+	bufAt       []units.Time     // their arrival times (timer deadlines)
 	timer       sim.Timer
 	timeoutFn   func() // prebuilt o.timeoutRef(slot) closure
 	reclaimFn   func() // prebuilt o.reclaimRef(slot) closure
@@ -65,6 +68,14 @@ type Orderer struct {
 	deliver func(*packet.Packet)
 	flows   *flowtab.Table[orderFlow]
 	met     *metrics.Collector // optional aggregate telemetry
+
+	// Shared arenas for burst-grown reorder buffers: a flow that quiesces
+	// with oversized arrays returns them here and the next burst — on any
+	// flow of this host — reuses them, so deflection storms size memory by
+	// concurrent burstiness, not by how many flows ever saw one.
+	arP arena.Pool[*packet.Packet]
+	arV arena.Pool[uint32]
+	arT arena.Pool[units.Time]
 
 	// Telemetry.
 	Held     int64 // packets buffered at least once
@@ -129,7 +140,9 @@ func (o *Orderer) newFlow(p *packet.Packet, v uint32) *orderFlow {
 	st.expected = 0
 	st.finishedAt = 0
 	st.head = 0
-	st.buf = st.buf[:0]
+	st.bufP = st.bufP[:0]
+	st.bufV = st.bufV[:0]
+	st.bufAt = st.bufAt[:0]
 	st.timer = sim.Timer{}
 	if st.timeoutFn == nil {
 		slot := o.flows.Ref(p.Flow)
@@ -176,20 +189,61 @@ func (o *Orderer) Receive(p *packet.Packet) {
 }
 
 // buffered returns the number of held packets.
-func (st *orderFlow) buffered() int { return len(st.buf) - st.head }
+func (st *orderFlow) buffered() int { return len(st.bufV) - st.head }
 
-// clearBuf empties the reorder buffer, dropping packet references but
-// keeping modestly sized backing arrays for the slot's next flow.
-func (st *orderFlow) clearBuf() {
-	for i := st.head; i < len(st.buf); i++ {
-		st.buf[i] = ooEntry{}
+// keepBuf is the largest reorder-buffer capacity a quiesced slot keeps for
+// its next flow; burst-grown arrays past it go back to the shared arena.
+const keepBuf = 1024
+
+// clearBuf empties the reorder buffer, dropping packet references. Modestly
+// sized backing arrays stay with the slot for its next flow; burst-grown
+// ones return to the orderer's shared arena instead of pinning the slot.
+func (o *Orderer) clearBuf(st *orderFlow) {
+	for i := st.head; i < len(st.bufP); i++ {
+		st.bufP[i] = nil
 	}
-	if cap(st.buf) > 1024 {
-		st.buf = nil // don't pin burst-grown arrays forever
+	if cap(st.bufV) > keepBuf {
+		o.arP.Put(st.bufP)
+		o.arV.Put(st.bufV)
+		o.arT.Put(st.bufAt)
+		st.bufP, st.bufV, st.bufAt = nil, nil, nil
 	} else {
-		st.buf = st.buf[:0]
+		st.bufP = st.bufP[:0]
+		st.bufV = st.bufV[:0]
+		st.bufAt = st.bufAt[:0]
 	}
 	st.head = 0
+}
+
+// growBuf widens the reorder buffer through the shared arena, copying the
+// full occupied prefix (entries before head are already zero).
+func (o *Orderer) growBuf(st *orderFlow) {
+	need := 2 * len(st.bufV)
+	if need < 8 {
+		need = 8
+	}
+	p := o.arP.Get(need)[:len(st.bufP)]
+	v := o.arV.Get(need)[:len(st.bufV)]
+	at := o.arT.Get(need)[:len(st.bufAt)]
+	copy(p, st.bufP)
+	copy(v, st.bufV)
+	copy(at, st.bufAt)
+	o.arP.Put(st.bufP)
+	o.arV.Put(st.bufV)
+	o.arT.Put(st.bufAt)
+	st.bufP, st.bufV, st.bufAt = p, v, at
+}
+
+// bufCap is the capacity usable across all three parallel arrays.
+func (st *orderFlow) bufCap() int {
+	c := cap(st.bufP)
+	if cv := cap(st.bufV); cv < c {
+		c = cv
+	}
+	if ct := cap(st.bufAt); ct < c {
+		c = ct
+	}
+	return c
 }
 
 // deliverRun delivers p, then drains every buffered packet that has become
@@ -198,16 +252,18 @@ func (o *Orderer) deliverRun(st *orderFlow, p *packet.Packet, v uint32) {
 	o.deliver(p)
 	st.expected = o.next(v, p)
 	finished := o.done(st.expected, p)
-	for st.head < len(st.buf) && st.buf[st.head].v == st.expected {
-		e := st.buf[st.head]
-		st.buf[st.head] = ooEntry{}
+	for st.head < len(st.bufV) && st.bufV[st.head] == st.expected {
+		ep, ev := st.bufP[st.head], st.bufV[st.head]
+		st.bufP[st.head] = nil
 		st.head++
-		o.deliver(e.p)
-		st.expected = o.next(e.v, e.p)
-		finished = o.done(st.expected, e.p)
+		o.deliver(ep)
+		st.expected = o.next(ev, ep)
+		finished = o.done(st.expected, ep)
 	}
-	if st.head == len(st.buf) {
-		st.buf = st.buf[:0]
+	if st.head == len(st.bufV) {
+		st.bufP = st.bufP[:0]
+		st.bufV = st.bufV[:0]
+		st.bufAt = st.bufAt[:0]
 		st.head = 0
 	}
 	if finished && st.buffered() == 0 {
@@ -226,7 +282,7 @@ func (o *Orderer) finish(st *orderFlow) {
 	st.timer = sim.Timer{}
 	st.finished = true
 	st.finishedAt = o.eng.Now()
-	st.clearBuf()
+	o.clearBuf(st)
 	o.eng.After(o.cfg.Timeout, st.reclaimFn)
 }
 
@@ -248,35 +304,47 @@ func (o *Orderer) reclaimRef(slot int32) {
 // discarding duplicates, and arms the timer.
 func (o *Orderer) bufferEarly(st *orderFlow, p *packet.Packet, v uint32) {
 	// Inlined sort.Search over the live window [head, len): first index
-	// whose position does not precede v.
-	lo, hi := st.head, len(st.buf)
+	// whose position does not precede v. Touches only the packed position
+	// array — the struct-of-arrays payoff.
+	lo, hi := st.head, len(st.bufV)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if o.before(st.buf[mid].v, v) {
+		if o.before(st.bufV[mid], v) {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(st.buf) && st.buf[lo].v == v {
+	if lo < len(st.bufV) && st.bufV[lo] == v {
 		return // duplicate of an already-buffered packet
 	}
-	e := ooEntry{p: p, v: v, arrived: o.eng.Now()}
+	now := o.eng.Now()
 	if lo == st.head && st.head > 0 {
 		// New head-of-buffer: reuse the slack in front.
 		st.head--
-		st.buf[st.head] = e
+		st.bufP[st.head] = p
+		st.bufV[st.head] = v
+		st.bufAt[st.head] = now
 	} else {
-		st.buf = append(st.buf, ooEntry{})
-		copy(st.buf[lo+1:], st.buf[lo:])
-		st.buf[lo] = e
+		if len(st.bufV) == st.bufCap() {
+			o.growBuf(st)
+		}
+		st.bufP = append(st.bufP, nil)
+		st.bufV = append(st.bufV, 0)
+		st.bufAt = append(st.bufAt, 0)
+		copy(st.bufP[lo+1:], st.bufP[lo:])
+		copy(st.bufV[lo+1:], st.bufV[lo:])
+		copy(st.bufAt[lo+1:], st.bufAt[lo:])
+		st.bufP[lo] = p
+		st.bufV[lo] = v
+		st.bufAt[lo] = now
 	}
 	o.Held++
 	if o.met != nil {
 		o.met.OrderingHeld++
 	}
 	if !st.timer.Pending() {
-		o.armAt(st, st.buf[st.head].arrived+o.cfg.Timeout)
+		o.armAt(st, st.bufAt[st.head]+o.cfg.Timeout)
 	}
 }
 
@@ -289,7 +357,7 @@ func (o *Orderer) rearm(st *orderFlow) {
 	st.timer.Cancel()
 	st.timer = sim.Timer{}
 	if st.buffered() > 0 {
-		o.armAt(st, st.buf[st.head].arrived+o.cfg.Timeout)
+		o.armAt(st, st.bufAt[st.head]+o.cfg.Timeout)
 	}
 }
 
@@ -327,18 +395,20 @@ func (o *Orderer) timeout(flow uint64, st *orderFlow) {
 		o.met.OrderTimeout++
 	}
 	if debugTimeout != nil {
-		debugTimeout(flow, st.hasExpected, st.expected, st.buf[st.head].v, st.buffered(), o.eng.Now())
+		debugTimeout(flow, st.hasExpected, st.expected, st.bufV[st.head], st.buffered(), o.eng.Now())
 	}
 	// Skip the gap: the next packet in flow order becomes the new expected.
-	e := st.buf[st.head]
-	st.buf[st.head] = ooEntry{}
+	ep, ev := st.bufP[st.head], st.bufV[st.head]
+	st.bufP[st.head] = nil
 	st.head++
-	if st.head == len(st.buf) {
-		st.buf = st.buf[:0]
+	if st.head == len(st.bufV) {
+		st.bufP = st.bufP[:0]
+		st.bufV = st.bufV[:0]
+		st.bufAt = st.bufAt[:0]
 		st.head = 0
 	}
 	st.hasExpected = true
-	st.expected = e.v
+	st.expected = ev
 	o.Releases++
-	o.deliverRun(st, e.p, e.v)
+	o.deliverRun(st, ep, ev)
 }

@@ -52,6 +52,7 @@ type FlowClass int
 const (
 	Background FlowClass = iota
 	Incast
+	numFlowClasses
 )
 
 func (c FlowClass) String() string {
@@ -92,20 +93,58 @@ func (q *QueryRecord) QCT() units.Time { return q.End - q.Start }
 
 // Collector accumulates events during a run. It is not safe for concurrent
 // use; the simulator is single-threaded by design.
+//
+// Completion times are streamed: every scalar and distribution a Summary
+// reports is folded in at EndFlow time (sums, counts, per-class log-bucketed
+// histograms), so the collector's steady-state footprint is O(active flows),
+// not O(total flows). FlowRecord slots live in a flowtab slab table; once
+// the RawSeries mode stops keeping raw series (RawDrop, or RawAuto past its
+// started-flows cutoff) completed records are deleted on completion and
+// their slots recycled for the next flow.
 type Collector struct {
-	// RawSeries controls whether Summarize keeps raw FCT/QCT slices on the
-	// Summary (see RawMode); the zero value is RawAuto.
+	// RawSeries controls whether raw FCT/QCT series are accumulated and kept
+	// on the Summary (see RawMode); the zero value is RawAuto. Set it before
+	// the first StartFlow — the auto cutoff is applied as flows start.
 	RawSeries RawMode
 
-	Flows   []FlowRecord
 	Queries []QueryRecord
-	// flowIdx maps flow ID -> index into Flows. Flow IDs come from the
-	// shared packet.IDGen, so they are sparse (interleaved with packet
-	// IDs), ruling out a dense slice; the flowtab keeps the lookup cheap.
-	flowIdx *flowtab.Table[int32]
+	// flows holds the live flow records, keyed by flow ID. Flow IDs come
+	// from the shared packet.IDGen, so they are sparse (interleaved with
+	// packet IDs), ruling out a dense slice; the flowtab keeps lookups cheap
+	// and recycles record slots. Completed records are retained only while
+	// the raw mode keeps per-flow series (small runs), so tests and tools
+	// can still inspect them; past the cutoff they are deleted on completion.
+	flows *flowtab.Table[FlowRecord]
+	// recycling is set once raw series are dropped: from the first flow
+	// under RawDrop, or at the RawAuto cutoff. From then on EndFlow deletes
+	// the record and the slab slot is reused.
+	recycling bool
+
+	flowsStarted   int
+	flowsCompleted int
+
+	// Streaming FCT/QCT aggregates: the canonical completion-time store.
+	// fctHist is per flow class; Summary merges the classes for the overall
+	// distribution and keeps the per-class shapes.
+	fctHist   [numFlowClasses]Histogram
+	qctHist   Histogram
+	fctSum    int64
+	qctSum    int64
+	miceCount int64
+	miceSum   int64
+	// Elephant goodput: per-flow goodput is truncated to an integer bit
+	// rate before summing (matching the Summary arithmetic), so the running
+	// sum is exact regardless of completion order.
+	elephFlows   int
+	elephGoodput units.BitRate
+
+	// Raw completion-time series in completion order, accumulated only
+	// while the RawSeries mode keeps them.
+	fcts []units.Time
+	qcts []units.Time
 
 	Drops        [numDropReasons]int64
-	DropsByClass [2]int64
+	DropsByClass [numFlowClasses]int64
 	Deflections  int64
 	ECNMarks     int64
 	PacketsSent  int64 // data packets injected by hosts (incl. retransmissions)
@@ -120,64 +159,135 @@ type Collector struct {
 	OrderTimeout int64 // ordering-layer timeouts fired
 	Boosted      int64 // retransmitted packets whose RFS was boosted
 
-	// Fault-injection accounting (see internal/faults).
-	FaultEvents    int64        // fault transitions applied to the fabric
-	FIBInstalls    int64        // control-plane healing FIB swaps
-	Recoveries     []units.Time // carrier-loss durations of recovered links
-	PostRecoveryTx int64        // packets transmitted on a once-failed, recovered port
+	// Fault-injection accounting (see internal/faults). Recovery durations
+	// are folded into a histogram + sum/count as links come back up, so flap
+	// storms cost O(1) memory; the raw series is kept only under RawKeep.
+	FaultEvents    int64 // fault transitions applied to the fabric
+	FIBInstalls    int64 // control-plane healing FIB swaps
+	PostRecoveryTx int64 // packets transmitted on a once-failed, recovered port
+	ttrHist        Histogram
+	ttrCount       int
+	ttrSum         int64
+	recoveries     []units.Time // raw carrier-loss durations, RawKeep only
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{flowIdx: flowtab.New[int32](256)}
+	return &Collector{flows: flowtab.New[FlowRecord](256)}
 }
 
-// StartFlow registers a new flow and returns its record index.
+// StartFlow registers a new flow.
 func (c *Collector) StartFlow(rec FlowRecord) {
-	v, _ := c.flowIdx.Put(rec.ID)
-	*v = int32(len(c.Flows))
-	c.Flows = append(c.Flows, rec)
+	c.flowsStarted++
+	if !c.recycling && !c.RawSeries.keepRaw(c.flowsStarted) {
+		c.startRecycling()
+	}
+	v, _ := c.flows.Put(rec.ID)
+	*v = rec
 	obsFlowsStarted.Inc()
 }
 
-// EndFlow marks a flow complete at time t.
-func (c *Collector) EndFlow(id uint64, t units.Time) {
-	ip := c.flowIdx.Get(id)
-	if ip == nil {
-		return
+// startRecycling drops the raw series and every already-completed record,
+// and switches EndFlow to delete-on-completion. The cut is on flows started
+// — a configuration-time quantity — so it cannot flip on completion
+// behaviour.
+func (c *Collector) startRecycling() {
+	c.recycling = true
+	c.fcts, c.qcts = nil, nil
+	var done []uint64
+	c.flows.Range(func(key uint64, v *FlowRecord) bool {
+		if v.Completed {
+			done = append(done, key)
+		}
+		return true
+	})
+	for _, key := range done {
+		c.flows.Delete(key)
 	}
-	f := &c.Flows[*ip]
-	if f.Completed {
+}
+
+// EndFlow marks a flow complete at time t, streams its completion into the
+// aggregate sums and histograms, and — once raw series are off — recycles
+// the record slot.
+func (c *Collector) EndFlow(id uint64, t units.Time) {
+	f := c.flows.Get(id)
+	if f == nil || f.Completed {
 		return
 	}
 	f.End = t
 	f.Completed = true
+	c.flowsCompleted++
+	fct := t - f.Start
 	obsFlowsCompleted.Inc()
-	obsFCT.Observe(int64(t - f.Start))
+	obsFCT.Observe(int64(fct))
+	c.fctHist[f.Class].Observe(int64(fct))
+	c.fctSum += int64(fct)
+	if !c.recycling {
+		c.fcts = append(c.fcts, fct)
+	}
+	if f.Size < MiceMaxBytes {
+		c.miceCount++
+		c.miceSum += int64(fct)
+	}
+	if f.Size > ElephantMinBytes {
+		c.elephFlows++
+		if fct > 0 {
+			c.elephGoodput += units.BitRate(8 * float64(f.Size) / fct.Seconds())
+		}
+	}
 	if f.Query >= 0 {
 		q := &c.Queries[f.Query]
 		q.Remaining--
 		if q.Remaining == 0 {
 			q.End = t
 			q.Completed = true
+			qct := t - q.Start
 			obsQueriesCompleted.Inc()
-			obsQCT.Observe(int64(t - q.Start))
+			obsQCT.Observe(int64(qct))
+			c.qctHist.Observe(int64(qct))
+			c.qctSum += int64(qct)
+			if !c.recycling {
+				c.qcts = append(c.qcts, qct)
+			}
 		}
+	}
+	if c.recycling {
+		c.flows.Delete(id)
 	}
 }
 
-// Flow returns the record for a flow ID, or nil.
+// Flow returns the record for a flow ID, or nil. Completed flows are found
+// only while the raw mode keeps per-flow state; once recycling is on their
+// records are deleted at EndFlow.
 //
-// Aliasing rule: the pointer aims into the Flows slice, whose backing
-// array moves when StartFlow appends. A *FlowRecord is therefore valid
+// Aliasing rule: the pointer aims into the flow table's value slab, which
+// can move when StartFlow grows the table. A *FlowRecord is therefore valid
 // only until the next StartFlow — read or update it immediately; never
 // hold it across anything that can register a flow.
 func (c *Collector) Flow(id uint64) *FlowRecord {
-	if ip := c.flowIdx.Get(id); ip != nil {
-		return &c.Flows[*ip]
-	}
-	return nil
+	return c.flows.Get(id)
 }
+
+// FlowsStarted returns the number of flows registered so far.
+func (c *Collector) FlowsStarted() int { return c.flowsStarted }
+
+// FlowsCompleted returns the number of flows completed so far.
+func (c *Collector) FlowsCompleted() int { return c.flowsCompleted }
+
+// LiveFlows returns the number of flow records currently held. With
+// recycling on this is the active-flow population — the collector's
+// footprint is proportional to it, not to FlowsStarted.
+func (c *Collector) LiveFlows() int { return c.flows.Len() }
+
+// RangeFlows calls fn for every retained flow record in table order until
+// fn returns false. The *FlowRecord follows the Flow aliasing rule.
+func (c *Collector) RangeFlows(fn func(*FlowRecord) bool) {
+	c.flows.Range(func(_ uint64, v *FlowRecord) bool { return fn(v) })
+}
+
+// ClassFCTHist returns the canonical completion-time histogram for one flow
+// class. The histogram is live; callers must not mutate it mid-run.
+func (c *Collector) ClassFCTHist(class FlowClass) *Histogram { return &c.fctHist[class] }
 
 // StartQuery registers an incast query and returns its ID.
 func (c *Collector) StartQuery(scale int, t units.Time) int {
@@ -193,11 +303,36 @@ func (c *Collector) Drop(reason DropReason, class FlowClass) {
 	c.DropsByClass[class]++
 }
 
-// Recovered records one link's carrier-loss duration when it comes back up,
-// the raw series behind the time-to-recover summary stats.
+// Recovered records one link's carrier-loss duration when it comes back up.
+// The duration is streamed into the TTR histogram and sum, so a flapping
+// link costs O(1) memory no matter how often it recovers; the raw series is
+// kept only under RawKeep.
 func (c *Collector) Recovered(down units.Time) {
-	c.Recoveries = append(c.Recoveries, down)
+	c.ttrCount++
+	c.ttrSum += int64(down)
+	c.ttrHist.Observe(int64(down))
+	if c.RawSeries == RawKeep {
+		c.recoveries = append(c.recoveries, down)
+	}
 }
+
+// RecoveryCount returns the number of link recoveries recorded.
+func (c *Collector) RecoveryCount() int { return c.ttrCount }
+
+// MTTR returns the mean time-to-recover over recorded recoveries, or 0.
+func (c *Collector) MTTR() units.Time {
+	if c.ttrCount == 0 {
+		return 0
+	}
+	return units.Time(c.ttrSum / int64(c.ttrCount))
+}
+
+// TTRHist returns the live time-to-recover histogram.
+func (c *Collector) TTRHist() *Histogram { return &c.ttrHist }
+
+// RecoveryTimes returns the raw recovery-duration series, non-nil only
+// under RawKeep.
+func (c *Collector) RecoveryTimes() []units.Time { return c.recoveries }
 
 // TotalDrops sums drops across reasons.
 func (c *Collector) TotalDrops() int64 {
@@ -206,6 +341,59 @@ func (c *Collector) TotalDrops() int64 {
 		n += d
 	}
 	return n
+}
+
+// Merge folds the streaming aggregates of a completed shard into c, so
+// sharded or resumed runs combine into one set of totals and distributions.
+// It merges counters, sums and histograms — everything a Summary is built
+// from — plus the raw series both sides kept. Live per-flow state (the flow
+// table, open queries) is not migrated: merge collectors only after their
+// runs have finished.
+func (c *Collector) Merge(other *Collector) {
+	c.flowsStarted += other.flowsStarted
+	c.flowsCompleted += other.flowsCompleted
+	for i := range c.fctHist {
+		c.fctHist[i].Merge(&other.fctHist[i])
+	}
+	c.qctHist.Merge(&other.qctHist)
+	c.fctSum += other.fctSum
+	c.qctSum += other.qctSum
+	c.miceCount += other.miceCount
+	c.miceSum += other.miceSum
+	c.elephFlows += other.elephFlows
+	c.elephGoodput += other.elephGoodput
+	c.fcts = append(c.fcts, other.fcts...)
+	c.qcts = append(c.qcts, other.qcts...)
+	for _, q := range other.Queries {
+		q.ID = len(c.Queries)
+		c.Queries = append(c.Queries, q)
+	}
+	for i := range c.Drops {
+		c.Drops[i] += other.Drops[i]
+	}
+	for i := range c.DropsByClass {
+		c.DropsByClass[i] += other.DropsByClass[i]
+	}
+	c.Deflections += other.Deflections
+	c.ECNMarks += other.ECNMarks
+	c.PacketsSent += other.PacketsSent
+	c.PacketsRecv += other.PacketsRecv
+	c.BytesGoodput += other.BytesGoodput
+	c.HopSum += other.HopSum
+	c.Retransmits += other.Retransmits
+	c.RTOs += other.RTOs
+	c.FastRetx += other.FastRetx
+	c.ReorderPkts += other.ReorderPkts
+	c.OrderingHeld += other.OrderingHeld
+	c.OrderTimeout += other.OrderTimeout
+	c.Boosted += other.Boosted
+	c.FaultEvents += other.FaultEvents
+	c.FIBInstalls += other.FIBInstalls
+	c.PostRecoveryTx += other.PostRecoveryTx
+	c.ttrHist.Merge(&other.ttrHist)
+	c.ttrCount += other.ttrCount
+	c.ttrSum += other.ttrSum
+	c.recoveries = append(c.recoveries, other.recoveries...)
 }
 
 // Mean returns the arithmetic mean of ts, or 0 for empty input.

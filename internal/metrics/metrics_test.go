@@ -253,7 +253,7 @@ func TestFlowAliasingAcrossGrowth(t *testing.T) {
 			t.Fatalf("flow %d: got %+v, want %+v", 3*i, got, want)
 		}
 	}
-	if len(c.Flows) != n {
-		t.Fatalf("len(Flows) = %d, want %d", len(c.Flows), n)
+	if c.FlowsStarted() != n || c.LiveFlows() != n {
+		t.Fatalf("started %d live %d, want %d of each", c.FlowsStarted(), c.LiveFlows(), n)
 	}
 }

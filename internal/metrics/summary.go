@@ -68,8 +68,13 @@ type Summary struct {
 
 	// Log-bucketed completion-time distributions: the whole shape survives
 	// serialization even when the raw series are stripped (Compact).
-	FCTHist *Histogram `json:"fct_hist,omitempty"`
-	QCTHist *Histogram `json:"qct_hist,omitempty"`
+	// FCTHist merges the per-class histograms; the class-specific shapes
+	// ride along so the incast/background split survives too.
+	FCTHist           *Histogram `json:"fct_hist,omitempty"`
+	QCTHist           *Histogram `json:"qct_hist,omitempty"`
+	FCTHistBackground *Histogram `json:"fct_hist_background,omitempty"`
+	FCTHistIncast     *Histogram `json:"fct_hist_incast,omitempty"`
+	TTRHist           *Histogram `json:"ttr_hist,omitempty"`
 
 	// Raw series kept for CDF figures. Optional: the collector's RawSeries
 	// mode drops them for large runs (see RawMode), in which case
@@ -121,54 +126,58 @@ func (s *Summary) QCTCDF(maxPoints int) []CDFPoint {
 	return s.QCTHist.CDF(maxPoints)
 }
 
-// Summarize digests the collector at simulation end time end.
+// Summarize digests the collector at simulation end time end. Every scalar
+// is read from the streaming aggregates (exact integer sums and counts);
+// percentiles and CDFs are exact while the raw series are kept and served
+// from the log-bucketed histograms past the RawMode cutoff.
 func (c *Collector) Summarize(end units.Time) *Summary {
-	s := &Summary{Duration: end, FlowsStarted: len(c.Flows), QueriesStarted: len(c.Queries)}
+	s := &Summary{Duration: end, FlowsStarted: c.flowsStarted, QueriesStarted: len(c.Queries)}
 
-	var miceFCTs []units.Time
-	for i := range c.Flows {
-		f := &c.Flows[i]
-		if !f.Completed {
-			continue
-		}
-		s.FlowsCompleted++
-		fct := f.FCT()
-		s.FCTs = append(s.FCTs, fct)
-		if f.Size < MiceMaxBytes {
-			miceFCTs = append(miceFCTs, fct)
-		}
-		if f.Size > ElephantMinBytes {
-			s.ElephantFlows++
-			if fct > 0 {
-				s.ElephantGoodput += units.BitRate(8 * float64(f.Size) / fct.Seconds())
-			}
-		}
-	}
+	s.FlowsCompleted = c.flowsCompleted
+	s.ElephantFlows = c.elephFlows
+	s.ElephantGoodput = c.elephGoodput
 	if s.ElephantFlows > 0 {
 		s.ElephantGoodput /= units.BitRate(s.ElephantFlows)
 	}
 	if s.FlowsStarted > 0 {
 		s.FlowCompletionP = 100 * float64(s.FlowsCompleted) / float64(s.FlowsStarted)
 	}
-	s.MeanFCT = Mean(s.FCTs)
-	s.P99FCT = Percentile(s.FCTs, 99)
-	s.MeanMiceFCT = Mean(miceFCTs)
-	s.FCTHist = histOfTimes(s.FCTs)
+	if c.flowsCompleted > 0 {
+		s.MeanFCT = units.Time(c.fctSum / int64(c.flowsCompleted))
+	}
+	if c.miceCount > 0 {
+		s.MeanMiceFCT = units.Time(c.miceSum / c.miceCount)
+	}
+	s.FCTHist = mergedHist(&c.fctHist[Background], &c.fctHist[Incast])
+	s.FCTHistBackground = histCopy(&c.fctHist[Background])
+	s.FCTHistIncast = histCopy(&c.fctHist[Incast])
+	if !c.recycling {
+		s.FCTs = append([]units.Time(nil), c.fcts...)
+		s.QCTs = append([]units.Time(nil), c.qcts...)
+	}
+	if len(s.FCTs) > 0 {
+		s.P99FCT = Percentile(s.FCTs, 99)
+	} else if s.FCTHist != nil {
+		s.P99FCT = units.Time(s.FCTHist.Quantile(0.99))
+	}
 
 	for i := range c.Queries {
-		q := &c.Queries[i]
-		if !q.Completed {
-			continue
+		if c.Queries[i].Completed {
+			s.QueriesCompleted++
 		}
-		s.QueriesCompleted++
-		s.QCTs = append(s.QCTs, q.QCT())
 	}
 	if s.QueriesStarted > 0 {
 		s.QueryCompletionP = 100 * float64(s.QueriesCompleted) / float64(s.QueriesStarted)
 	}
-	s.MeanQCT = Mean(s.QCTs)
-	s.P99QCT = Percentile(s.QCTs, 99)
-	s.QCTHist = histOfTimes(s.QCTs)
+	if s.QueriesCompleted > 0 {
+		s.MeanQCT = units.Time(c.qctSum / int64(s.QueriesCompleted))
+	}
+	s.QCTHist = histCopy(&c.qctHist)
+	if len(s.QCTs) > 0 {
+		s.P99QCT = Percentile(s.QCTs, 99)
+	} else if s.QCTHist != nil {
+		s.P99QCT = units.Time(s.QCTHist.Quantile(0.99))
+	}
 
 	s.PacketsSent = c.PacketsSent
 	s.PacketsRecv = c.PacketsRecv
@@ -196,35 +205,37 @@ func (c *Collector) Summarize(end units.Time) *Summary {
 	}
 	s.FaultEvents = c.FaultEvents
 	s.FIBInstalls = c.FIBInstalls
-	s.LinkRecoveries = len(c.Recoveries)
-	s.MTTR = Mean(c.Recoveries)
+	s.LinkRecoveries = c.ttrCount
+	s.MTTR = c.MTTR()
+	s.TTRHist = histCopy(&c.ttrHist)
 	s.PostRecoveryTx = c.PostRecoveryTx
 	if end > 0 {
 		// Computed in floating point: 8*bytes*1e9 overflows int64 beyond
 		// ~1.1 GB of goodput.
 		s.OverallGoodput = units.BitRate(8 * float64(c.BytesGoodput) / end.Seconds())
 	}
-	// The scalars above were computed from the raw series (exact); past this
-	// point the histograms are the distribution of record if the mode drops
-	// the raw slices. The cut is on flows started — a configuration-time
-	// quantity — so it cannot flip on completion behaviour.
-	if !c.RawSeries.keepRaw(s.FlowsStarted) {
-		s.FCTs, s.QCTs = nil, nil
-	}
 	return s
 }
 
-// histOfTimes builds a log-bucketed histogram of a time series, or nil for
-// an empty one.
-func histOfTimes(ts []units.Time) *Histogram {
-	if len(ts) == 0 {
+// histCopy snapshots a live histogram, or nil for an empty one.
+func histCopy(h *Histogram) *Histogram {
+	if h.Count() == 0 {
 		return nil
 	}
-	h := &Histogram{}
-	for _, t := range ts {
-		h.Observe(int64(t))
+	cp := *h
+	return &cp
+}
+
+// mergedHist folds histograms into one snapshot, or nil if all are empty.
+func mergedHist(hs ...*Histogram) *Histogram {
+	out := &Histogram{}
+	for _, h := range hs {
+		out.Merge(h)
 	}
-	return h
+	if out.Count() == 0 {
+		return nil
+	}
+	return out
 }
 
 // Encode writes the summary as indented JSON. Together with DecodeSummary it

@@ -40,6 +40,9 @@ func NewFatTree(cfg FatTreeConfig) (*Topology, error) {
 		NumHosts:    k * half * half,
 		NumSwitches: numEdge + numAgg + numCore,
 	}
+	// Exact link count: one access link per host, plus the per-pod edge-agg
+	// bipartite and the agg-core fan-out, each k*(k/2)^2.
+	t.Links = make([]Link, 0, t.NumHosts+2*k*half*half)
 	edgeID := func(pod, i int) int { return pod*half + i }
 	aggID := func(pod, i int) int { return numEdge + pod*half + i }
 	coreID := func(i int) int { return numEdge + numAgg + i }

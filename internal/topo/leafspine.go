@@ -43,6 +43,7 @@ func NewLeafSpine(cfg LeafSpineConfig) (*Topology, error) {
 		NumHosts:    cfg.Leaves * cfg.HostsPerLeaf,
 		NumSwitches: cfg.Leaves + cfg.Spines,
 	}
+	t.Links = make([]Link, 0, t.NumHosts+cfg.Leaves*cfg.Spines)
 	// Host access links.
 	for h := 0; h < t.NumHosts; h++ {
 		leaf := h / cfg.HostsPerLeaf

@@ -79,6 +79,38 @@ func (t *Topology) Finalize() error {
 		t.HostLink[i] = -1
 	}
 
+	// Counting pass: per-switch port counts, so every per-switch slice below
+	// is an exact-capacity window into one backing array instead of a
+	// separately grown allocation (large fat-trees have tens of thousands of
+	// ports; growing each list by doubling would dominate build time).
+	nport := make([]int, t.NumSwitches)
+	for i := range t.Links {
+		l := &t.Links[i]
+		switch {
+		case l.A.Host && l.B.Host:
+			// reported with context by the main loop below
+		case l.A.Host:
+			nport[l.B.Node]++
+		case l.B.Host:
+			nport[l.A.Node]++
+		default:
+			nport[l.A.Node]++
+			nport[l.B.Node]++
+		}
+	}
+	totalPorts := 0
+	for _, n := range nport {
+		totalPorts += n
+	}
+	peerBack := make([]Endpoint, totalPorts)
+	linkBack := make([]int, totalPorts)
+	for sw, off := 0, 0; sw < t.NumSwitches; sw++ {
+		end := off + nport[sw]
+		t.PortPeer[sw] = peerBack[off:off:end]
+		t.PortLink[sw] = linkBack[off:off:end]
+		off = end
+	}
+
 	addSwitchPort := func(sw int, peer Endpoint, link int) int {
 		t.PortPeer[sw] = append(t.PortPeer[sw], peer)
 		t.PortLink[sw] = append(t.PortLink[sw], link)
@@ -123,11 +155,24 @@ func (t *Topology) Finalize() error {
 	}
 
 	t.FabricPorts = make([][]int, t.NumSwitches)
+	nFabric := 0
 	for sw := range t.PortPeer {
+		for _, peer := range t.PortPeer[sw] {
+			if !peer.Host {
+				nFabric++
+			}
+		}
+	}
+	fabricBack := make([]int, 0, nFabric)
+	for sw := range t.PortPeer {
+		start := len(fabricBack)
 		for p, peer := range t.PortPeer[sw] {
 			if !peer.Host {
-				t.FabricPorts[sw] = append(t.FabricPorts[sw], p)
+				fabricBack = append(fabricBack, p)
 			}
+		}
+		if len(fabricBack) > start {
+			t.FabricPorts[sw] = fabricBack[start:len(fabricBack):len(fabricBack)]
 		}
 	}
 
@@ -155,35 +200,74 @@ func (t *Topology) FIBExcluding(dead func(link int) bool) [][][]int {
 
 // fibAndDist computes the FIB and hop-distance tables, skipping links for
 // which dead reports true (nil = keep all).
+//
+// The build is allocation-lean: every per-switch slice is an exact-capacity
+// window into a shared backing array sized by a counting pass, and each
+// destination's next-hop port lists are packed into one arena. A k-ary
+// fat-tree FIB has NumSwitches x NumHosts entries averaging k/2 ports each;
+// growing each entry individually is what used to dominate large-topology
+// construction.
 func (t *Topology) fibAndDist(dead func(link int) bool) ([][][]int, [][]int) {
 	fibT := make([][][]int, t.NumSwitches)
 	distT := make([][]int, t.NumSwitches)
+	fibRows := make([][]int, t.NumSwitches*t.NumHosts)
+	distBack := make([]int, t.NumSwitches*t.NumHosts)
 	for sw := range fibT {
-		fibT[sw] = make([][]int, t.NumHosts)
-		distT[sw] = make([]int, t.NumHosts)
+		lo, hi := sw*t.NumHosts, (sw+1)*t.NumHosts
+		fibT[sw] = fibRows[lo:hi:hi]
+		distT[sw] = distBack[lo:hi:hi]
 	}
 
 	// Switch adjacency: neighbor switch -> connecting ports, dead links
-	// filtered out up front.
+	// filtered out up front, packed into one backing array.
 	type adj struct{ sw, port int }
-	neighbors := make([][]adj, t.NumSwitches)
+	nAdj := 0
 	for sw := range t.PortPeer {
 		for p, peer := range t.PortPeer[sw] {
 			if peer.Host || (dead != nil && dead(t.PortLink[sw][p])) {
 				continue
 			}
-			neighbors[sw] = append(neighbors[sw], adj{peer.Node, p})
+			nAdj++
 		}
+	}
+	adjBack := make([]adj, 0, nAdj)
+	neighbors := make([][]adj, t.NumSwitches)
+	for sw := range t.PortPeer {
+		start := len(adjBack)
+		for p, peer := range t.PortPeer[sw] {
+			if peer.Host || (dead != nil && dead(t.PortLink[sw][p])) {
+				continue
+			}
+			adjBack = append(adjBack, adj{peer.Node, p})
+		}
+		neighbors[sw] = adjBack[start:len(adjBack):len(adjBack)]
 	}
 
 	dist := make([]int, t.NumSwitches)
 	queue := make([]int, 0, t.NumSwitches)
+	lastTor, prevDst := -1, -1
 	for dst := 0; dst < t.NumHosts; dst++ {
 		if dead != nil && dead(t.HostLink[dst]) {
 			// The destination's access link is dead: no switch can reach it.
 			continue
 		}
 		tor := t.HostToR[dst]
+		if tor == lastTor {
+			// Same ToR as the previously built destination: the BFS — and
+			// therefore the distance column and every non-ToR next-hop list —
+			// is identical. Alias the previous column (FIB entries are
+			// read-only) and rebuild only the ToR's own entry, which names
+			// this host's access port. With k/2 hosts per fat-tree edge
+			// switch this skips all but one BFS per ToR and shares the
+			// dominant share of FIB memory.
+			for sw := 0; sw < t.NumSwitches; sw++ {
+				distT[sw][dst] = distT[sw][prevDst]
+				fibT[sw][dst] = fibT[sw][prevDst]
+			}
+			fibT[tor][dst] = []int{t.HostPeer[dst].Port}
+			prevDst = dst
+			continue
+		}
 		for i := range dist {
 			dist[i] = -1
 		}
@@ -199,20 +283,37 @@ func (t *Topology) fibAndDist(dead func(link int) bool) ([][][]int, [][]int) {
 				}
 			}
 		}
+		// Counting pass, then pack this destination's port lists into one
+		// arena; each FIB entry is an exact window into it.
+		need := 1 // the ToR's host port
 		for sw := 0; sw < t.NumSwitches; sw++ {
-			distT[sw][dst] = dist[sw] + 1 // +1 for the final host hop
 			if sw == tor {
-				fibT[sw][dst] = []int{t.HostPeer[dst].Port}
 				continue
 			}
-			var ports []int
 			for _, n := range neighbors[sw] {
 				if dist[n.sw] >= 0 && dist[n.sw] == dist[sw]-1 {
-					ports = append(ports, n.port)
+					need++
 				}
 			}
-			fibT[sw][dst] = ports
 		}
+		back := make([]int, 0, need)
+		for sw := 0; sw < t.NumSwitches; sw++ {
+			distT[sw][dst] = dist[sw] + 1 // +1 for the final host hop
+			start := len(back)
+			if sw == tor {
+				back = append(back, t.HostPeer[dst].Port)
+			} else {
+				for _, n := range neighbors[sw] {
+					if dist[n.sw] >= 0 && dist[n.sw] == dist[sw]-1 {
+						back = append(back, n.port)
+					}
+				}
+			}
+			if len(back) > start {
+				fibT[sw][dst] = back[start:len(back):len(back)]
+			}
+		}
+		lastTor, prevDst = tor, dst
 	}
 	return fibT, distT
 }

@@ -1,0 +1,119 @@
+package transport_test
+
+import (
+	"runtime"
+	"testing"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/packet"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+)
+
+// newPoolRig is the standard rig re-wired through SenderPool/ReceiverPool,
+// the configuration core.Run uses.
+func newPoolRig(t *testing.T) (*rig, *transport.SenderPool, *transport.ReceiverPool) {
+	t.Helper()
+	r := newRig(t, fabric.DefaultConfig(fabric.ECMP), transport.DefaultConfig(transport.DCTCP), false)
+	rp := transport.NewReceiverPool(r.eng, r.net, r.met, r.ids)
+	for _, h := range r.hosts {
+		h := h
+		h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+			return rp.Accept(h, first)
+		})
+	}
+	return r, transport.NewSenderPool(r.cfg), rp
+}
+
+// TestPoolRecyclesConnections drives many sequential flows through pooled
+// transports: every one must complete, and the pools must converge to a
+// bounded population — one slab each — with zero slots leaked.
+func TestPoolRecyclesConnections(t *testing.T) {
+	r, sp, rp := newPoolRig(t)
+	const flows = 1000
+	for i := 0; i < flows; i++ {
+		src, dst := i%4, (i+2)%4
+		spec := transport.FlowSpec{ID: r.ids.Next(), Src: src, Dst: dst, Size: 20_000, Query: -1}
+		sp.Get(r.hosts[src], r.met, r.ids, spec, nil).Start()
+		r.eng.Run(r.eng.Now() + 300*units.Microsecond)
+	}
+	r.eng.Run(r.eng.Now() + 50*units.Millisecond)
+	if got := r.met.FlowsCompleted(); got != flows {
+		t.Fatalf("completed %d/%d flows", got, flows)
+	}
+	if sp.Live() != 0 || rp.Live() != 0 {
+		t.Fatalf("leaked slots: %d senders, %d receivers still live", sp.Live(), rp.Live())
+	}
+	if sp.Allocated() > 256 || rp.Allocated() > 256 {
+		t.Fatalf("pool grew past one slab: %d sender / %d receiver slots for %d sequential flows",
+			sp.Allocated(), rp.Allocated(), flows)
+	}
+}
+
+// TestPoolChurnAllocationFree pins the tentpole claim: once pools are warm,
+// flow churn itself — start, transmit, complete, recycle — allocates
+// (almost) nothing. The budget of ~2 allocs per flow leaves slack only for
+// amortized growth of long-lived structures (event heap, metrics table),
+// not per-flow sender/receiver/closure allocations, which cost 5+ each.
+func TestPoolChurnAllocationFree(t *testing.T) {
+	r, sp, _ := newPoolRig(t)
+	flow := func(i int) {
+		src, dst := i%4, (i+2)%4
+		spec := transport.FlowSpec{ID: r.ids.Next(), Src: src, Dst: dst, Size: 20_000, Query: -1}
+		sp.Get(r.hosts[src], r.met, r.ids, spec, nil).Start()
+		r.eng.Run(r.eng.Now() + 300*units.Microsecond)
+	}
+	for i := 0; i < 200; i++ { // warm-up: size pools, tables, event heap
+		flow(i)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const measured = 500
+	for i := 0; i < measured; i++ {
+		flow(200 + i)
+	}
+	runtime.ReadMemStats(&m1)
+	perFlow := float64(m1.Mallocs-m0.Mallocs) / measured
+	t.Logf("%d allocs over %d flows (%.3f allocs/flow)", m1.Mallocs-m0.Mallocs, measured, perFlow)
+	if perFlow > 2 {
+		t.Errorf("flow churn allocates %.2f objects/flow, want ~0", perFlow)
+	}
+}
+
+// TestPoolStragglerAck exercises the fin-handler path: a data packet for an
+// already-completed flow must still be ACKed with full coverage so the
+// sender can finish, and must not double-count goodput.
+func TestPoolStragglerAck(t *testing.T) {
+	// Tiny buffer forces drops, so some flows complete at the receiver while
+	// the sender still retransmits into the fin handler.
+	fcfg := fabric.DefaultConfig(fabric.ECMP)
+	fcfg.BufferBytes = 5 * 1500
+	fcfg.ECNThreshold = 0
+	r := newRig(t, fcfg, transport.DefaultConfig(transport.Reno), false)
+	rp := transport.NewReceiverPool(r.eng, r.net, r.met, r.ids)
+	for _, h := range r.hosts {
+		h := h
+		h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+			return rp.Accept(h, first)
+		})
+	}
+	sp := transport.NewSenderPool(r.cfg)
+	const size = 400_000
+	s1 := sp.Get(r.hosts[2], r.met, r.ids, transport.FlowSpec{ID: r.ids.Next(), Src: 2, Dst: 0, Size: size, Query: -1}, nil)
+	s2 := sp.Get(r.hosts[3], r.met, r.ids, transport.FlowSpec{ID: r.ids.Next(), Src: 3, Dst: 0, Size: size, Query: -1}, nil)
+	s1.Start()
+	s2.Start()
+	r.eng.Run(30 * units.Second)
+	if !s1.Done() || !s2.Done() {
+		t.Fatalf("senders incomplete under loss (drops=%d)", r.met.TotalDrops())
+	}
+	if r.met.TotalDrops() == 0 {
+		t.Fatal("scenario produced no drops; straggler path not exercised")
+	}
+	if r.met.BytesGoodput != 2*size {
+		t.Fatalf("goodput %d, want %d (stragglers double-counted?)", r.met.BytesGoodput, 2*size)
+	}
+	if sp.Live() != 0 || rp.Live() != 0 {
+		t.Fatalf("slots leaked after recovery: %d senders, %d receivers", sp.Live(), rp.Live())
+	}
+}

@@ -26,34 +26,60 @@ type Receiver struct {
 	scratch  []interval // spare backing array for admit's merge pass
 	maxEnd   int64      // highest byte offset seen (reordering detection)
 	done     bool
+
+	rp *ReceiverPool // owning pool, nil for standalone receivers
+	// onDataFn is the slot's prebuilt handler closure, reused across flows.
+	onDataFn func(*packet.Packet)
 }
 
 type interval struct{ lo, hi int64 }
 
-// NewReceiver builds a receiver from the first data packet of a flow and
-// returns its packet handler, matching host.Acceptor's contract.
+// NewReceiver builds a standalone, non-pooled receiver from the first data
+// packet of a flow and returns its packet handler, matching host.Acceptor's
+// contract (the ReceiverPool path is core's default).
 func NewReceiver(h *host.Host, met *metrics.Collector, ids *packet.IDGen, first *packet.Packet) func(*packet.Packet) {
-	r := &Receiver{
-		h:    h,
-		met:  met,
-		ids:  ids,
-		pool: h.Pool(),
-		flow: first.Flow,
-		peer: first.Src,
-		self: first.Dst,
-		size: first.FlowSize,
+	r := &Receiver{}
+	r.init(nil, h, met, ids, first)
+	return r.onDataFn
+}
+
+// init resets a slot for a new inbound flow, keeping the slot's prebuilt
+// handler closure and burst-grown interval backing arrays.
+func (r *Receiver) init(rp *ReceiverPool, h *host.Host, met *metrics.Collector, ids *packet.IDGen, first *packet.Packet) {
+	onData := r.onDataFn
+	ooo, scratch := r.ooo[:0], r.scratch[:0]
+	*r = Receiver{
+		h:       h,
+		met:     met,
+		ids:     ids,
+		pool:    h.Pool(),
+		flow:    first.Flow,
+		peer:    first.Src,
+		self:    first.Dst,
+		size:    first.FlowSize,
+		ooo:     ooo,
+		scratch: scratch,
+		rp:      rp,
 	}
-	return r.onData
+	if onData == nil {
+		onData = r.onData
+	}
+	r.onDataFn = onData
 }
 
 // Received returns the count of in-order bytes received so far.
 func (r *Receiver) Received() int64 { return r.recvNext }
 
 // onData consumes one packet: the receiver is its final owner, so the frame
-// is recycled after processing.
+// is recycled after processing. Once the flow's last byte has arrived the
+// slot quiesces back to its pool; the pool's shared fin handler takes over
+// the binding for any straggling retransmissions.
 func (r *Receiver) onData(p *packet.Packet) {
 	r.handleData(p)
 	r.pool.Put(p)
+	if r.done && r.rp != nil {
+		r.rp.release(r)
+	}
 }
 
 func (r *Receiver) handleData(p *packet.Packet) {

@@ -22,16 +22,16 @@ type FlowSpec struct {
 // Sender is the transmit side of one connection. It is ACK-clocked; Swift
 // additionally paces transmissions, which is what lets its congestion window
 // drop below one packet under extreme incast (paper §4.2).
+//
+// Senders are designed to live in SenderPool slabs: the hot per-ACK state
+// (sequence, congestion, RTT fields below) is grouped at the front of the
+// struct so the ACK path touches a contiguous prefix of the slot, the
+// config block is shared via pointer rather than copied per flow, and the
+// method-value closures are built once per slot and reused by every flow
+// the slot ever hosts.
 type Sender struct {
-	h    *host.Host
-	eng  *sim.Engine
-	met  *metrics.Collector
-	cfg  Config
-	ids  *packet.IDGen
-	pool *packet.Pool
-
-	spec FlowSpec
-
+	// Hot state, touched on every ACK.
+	//
 	// Sequence state (bytes). Retransmissions pending are exactly the range
 	// [rtxNext, retxUntil); an RTO widens it to the whole outstanding window.
 	sndUna    int64 // oldest unacknowledged byte
@@ -43,18 +43,16 @@ type Sender struct {
 	cwnd       float64
 	ssthresh   float64
 	dupAcks    int
-	inRecovery bool
-	recoverSeq int64
 	pipe       int // estimate of packets in flight (RFC 6675 spirit)
+	inRecovery bool
+	done       bool
+	recoverSeq int64
 
 	// RTT estimation and RTO.
 	srtt, rttvar units.Time
 	rto          units.Time
 	rtoTimer     sim.Timer
 	backoff      int
-	// Method-value closures are allocated once here; taking s.onRTO at every
-	// arm site would allocate per ACK.
-	onRTOFn, trySendFn func()
 
 	// DCTCP.
 	alpha       float64
@@ -68,13 +66,41 @@ type Sender struct {
 	nextSendAt   units.Time
 	retxStreak   int // consecutive retransmission events without progress
 
-	done   bool
+	// Identity and environment (set per flow, read-mostly).
+	h    *host.Host
+	eng  *sim.Engine
+	met  *metrics.Collector
+	cfg  *Config // shared by every sender of a pool
+	ids  *packet.IDGen
+	pool *packet.Pool
+	spec FlowSpec
+
+	sp     *SenderPool // owning pool, nil for standalone senders
 	onDone func()
+
+	// Method-value closures are allocated once per slot and survive reuse;
+	// taking s.onRTO at every arm site would allocate per ACK, and taking
+	// s.onAck at every Start would allocate per flow.
+	onRTOFn, trySendFn func()
+	onAckFn            func(*packet.Packet)
 }
 
-// NewSender creates (but does not start) a sender on host h.
+// NewSender creates (but does not start) a standalone, non-pooled sender on
+// host h (the SenderPool path is core's default; this remains for tests and
+// single-flow tools).
 func NewSender(h *host.Host, met *metrics.Collector, cfg Config, ids *packet.IDGen, spec FlowSpec, onDone func()) *Sender {
-	s := &Sender{
+	s := &Sender{}
+	c := cfg
+	s.init(nil, &c, h, met, ids, spec, onDone)
+	return s
+}
+
+// init resets a slot for a new flow, preserving the slot's prebuilt
+// closures (and building them on first use).
+func (s *Sender) init(sp *SenderPool, cfg *Config, h *host.Host, met *metrics.Collector,
+	ids *packet.IDGen, spec FlowSpec, onDone func()) {
+	onRTO, trySend, onAck := s.onRTOFn, s.trySendFn, s.onAckFn
+	*s = Sender{
 		h:    h,
 		eng:  h.Eng,
 		met:  met,
@@ -82,6 +108,7 @@ func NewSender(h *host.Host, met *metrics.Collector, cfg Config, ids *packet.IDG
 		ids:  ids,
 		pool: h.Pool(),
 		spec: spec,
+		sp:   sp,
 		cwnd: cfg.InitWindow,
 		// Effectively unbounded until the first loss event.
 		ssthresh: math.MaxFloat64,
@@ -91,9 +118,12 @@ func NewSender(h *host.Host, met *metrics.Collector, cfg Config, ids *packet.IDG
 	if cfg.Protocol == Swift {
 		s.cwnd = math.Min(cfg.InitWindow, cfg.Swift.MaxCwnd)
 	}
-	s.onRTOFn = s.onRTO
-	s.trySendFn = s.trySend
-	return s
+	if onRTO == nil {
+		onRTO = s.onRTO
+		trySend = s.trySend
+		onAck = s.onAck
+	}
+	s.onRTOFn, s.trySendFn, s.onAckFn = onRTO, trySend, onAck
 }
 
 // Start registers the flow and transmits the initial window.
@@ -114,7 +144,7 @@ func (s *Sender) Start() {
 	if s.h.Marker != nil {
 		s.h.Marker.StartFlow(s.spec.ID, s.spec.Dst, s.spec.Size)
 	}
-	s.h.Bind(s.spec.ID, s.onAck)
+	s.h.Bind(s.spec.ID, s.onAckFn)
 	s.trySend()
 }
 
@@ -295,10 +325,15 @@ func (s *Sender) onRTO() {
 var debugRTO func(flow uint64, sndUna, nextSeq int64, now units.Time, rto units.Time, dupAcks int)
 
 // onAck consumes one acknowledgment: the sender is the packet's final owner,
-// so the frame is recycled after processing.
+// so the frame is recycled after processing. If the ACK completed the flow,
+// the slot goes back to its pool — complete() has already unbound the flow,
+// so nothing can reach this sender again.
 func (s *Sender) onAck(p *packet.Packet) {
 	s.handleAck(p)
 	s.pool.Put(p)
+	if s.done && s.sp != nil {
+		s.sp.put(s)
+	}
 }
 
 // handleAck processes one cumulative acknowledgment.

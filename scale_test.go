@@ -1,0 +1,64 @@
+//go:build linux
+
+package vertigo_test
+
+// Million-flow memory-scaling checks. These take minutes, so they hide
+// behind VERTIGO_SCALE_TEST=1; the bench-scale CI job runs them alongside
+// BenchmarkRunThroughputHuge.
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+
+	"vertigo/internal/core"
+	"vertigo/internal/units"
+)
+
+// TestScaleSublinearRSS pins the tentpole memory claim: growing a run from
+// ~130k to ~1.3M flows (10x) must grow peak RSS far less than linearly,
+// because steady-state heap tracks *active* flows — identical between the
+// two runs, which share the same arrival rate — not total flows started.
+// Slab recycling, the streaming metrics store and the arenas are what make
+// this hold; before them, sender/receiver/record state accreted per flow.
+//
+// Both runs execute in this process and getrusage's high-water mark is
+// monotone, so the measurement order (small first) is load-bearing.
+func TestScaleSublinearRSS(t *testing.T) {
+	if os.Getenv("VERTIGO_SCALE_TEST") == "" {
+		t.Skip("set VERTIGO_SCALE_TEST=1 to run the million-flow RSS check (minutes)")
+	}
+	run := func(sim units.Time) (flows int, rssMB float64) {
+		cfg := runHugeConfig()
+		cfg.SimTime = sim
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.GC()
+		var ru syscall.Rusage
+		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary.FlowsStarted, float64(ru.Maxrss) / 1024
+	}
+
+	smallFlows, smallRSS := run(units.Millisecond)
+	bigFlows, bigRSS := run(10 * units.Millisecond)
+	t.Logf("small: %d flows, peak RSS %.0f MB; big: %d flows, peak RSS %.0f MB (%.2fx)",
+		smallFlows, smallRSS, bigFlows, bigRSS, bigRSS/smallRSS)
+
+	if bigFlows < 1_000_000 {
+		t.Fatalf("big run started %d flows, want >= 1M", bigFlows)
+	}
+	if ratio := float64(bigFlows) / float64(smallFlows); ratio < 8 {
+		t.Fatalf("flow ratio %.1fx, want ~10x — scenario drifted", ratio)
+	}
+	// 10x the flows must cost well under 10x the memory; 3x is generous
+	// headroom over the expected near-flat growth.
+	if bigRSS > 3*smallRSS {
+		t.Errorf("peak RSS grew %.2fx across a 10x flow increase — per-flow state is accreting",
+			bigRSS/smallRSS)
+	}
+}
