@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race race-serve vet bench bench-core bench-obs bench-run bench-scale bench-gate bench-merge exp-small exp-medium examples clean
+.PHONY: all build test test-short race race-serve vet bench bench-core bench-obs bench-run bench-scale bench-parallel bench-gate bench-merge exp-small exp-medium examples clean
 
 all: build vet test
 
@@ -74,22 +74,35 @@ bench-scale:
 	  | $(GO) run ./cmd/benchjson -prev BENCH_scale.json -out BENCH_scale.json
 	@echo "BENCH_scale.json:" && cat BENCH_scale.json
 
+# Standing multi-core benchmark: the scale=huge scenario serial and sharded
+# across 4 topology domains in one pass, recording both pkts/s figures and
+# their ratio (the parallel_run block) as BENCH_parallel.json. Run with
+# GOMAXPROCS unrestricted — the speedup is the whole point — and note the
+# serial run here exists only as the speedup denominator; BENCH_scale.json
+# stays the scale trajectory of record.
+bench-parallel:
+	@$(GO) test -run '^$$' -bench 'BenchmarkRunThroughputHuge(Parallel)?$$' -benchtime 1x -timeout 60m . \
+	  | $(GO) run ./cmd/benchjson -out BENCH_parallel.json
+	@echo "BENCH_parallel.json:" && cat BENCH_parallel.json
+
 # Apply the CI perf gates to the committed benchmark blobs: the core
 # cancel-churn delta must hold its >=20% win, whole-run pkts/s may not
 # regress more than 10% against the sticky baseline, the per-packet
-# datapath and metrics-registry benches must stay alloc-free, and the
+# datapath and metrics-registry benches must stay alloc-free, the
 # million-flow scale run must hold its pkts/s and fit the 2 GiB peak-RSS
-# envelope. Same invocations CI runs.
+# envelope, and the sharded run must beat serial >= 2.0x on machines with
+# at least 4 cores (warn-only below that). Same invocations CI runs.
 bench-gate:
 	$(GO) run ./cmd/benchgate -min-improve 20 -zero-alloc BenchmarkEngine -zero-alloc BenchmarkRegistry BENCH_core.json
 	$(GO) run ./cmd/benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
 	$(GO) run ./cmd/benchgate -max-regress 10 -max-rss-mb 2048 BENCH_scale.json
+	$(GO) run ./cmd/benchgate -min-parallel-speedup 2.0 BENCH_parallel.json
 
 # Fold the per-suite blobs into BENCH.json, keyed by git revision, so the
 # perf trajectory across PRs lives in one file.
 bench-merge:
 	$(GO) run ./cmd/benchjson -merge -rev $$(git rev-parse --short HEAD) \
-	  -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json BENCH_scale.json
+	  -out BENCH.json BENCH_core.json BENCH_obs.json BENCH_run.json BENCH_scale.json BENCH_parallel.json
 	@echo "BENCH.json:" && cat BENCH.json
 
 # Regenerate every paper table/figure from the CLI.

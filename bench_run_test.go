@@ -7,6 +7,7 @@ package vertigo_test
 // gates regressions, the same way BENCH_core.json tracks events/sec.
 
 import (
+	"runtime"
 	"syscall"
 	"testing"
 
@@ -92,8 +93,13 @@ func runHugeConfig() core.Config {
 // BenchmarkRunThroughputHuge runs the scale=huge scenario end-to-end and
 // reports pkts/s, flows/run and the process peak RSS ("peak_rss_mb"). The
 // RSS figure is the process high-water mark, so run this benchmark alone
-// (as `make bench-scale` does) when gating on it.
+// (as `make bench-scale` does) when gating on it. An iteration simulates a
+// million-plus flows (~2 minutes), so -short skips it; see README for the
+// full-vs-short test split.
 func BenchmarkRunThroughputHuge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("an iteration runs a million-flow simulation (minutes)")
+	}
 	cfg := runHugeConfig()
 	var pkts, flows int64
 	b.ResetTimer()
@@ -116,6 +122,42 @@ func BenchmarkRunThroughputHuge(b *testing.B) {
 	if rss := peakRSSMB(); rss > 0 {
 		b.ReportMetric(rss, "peak_rss_mb")
 	}
+}
+
+// BenchmarkRunThroughputHugeParallel runs the same frozen scale=huge
+// scenario sharded across 4 topology domains (core.Config.Shards) and
+// reports pkts/s plus the shard and core counts. The bench-parallel CI job
+// records it next to the serial BenchmarkRunThroughputHuge in BENCH.json's
+// parallel_run block and gates the speedup (>= 2.0x on machines with >= 4
+// cores; benchgate only warns below that). A sharded run is a distinct
+// deterministic universe, so pkts/run differs slightly from serial — the
+// gauge is wall-clock packets per second, not the packet count.
+func BenchmarkRunThroughputHugeParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("an iteration runs a million-flow simulation (minutes)")
+	}
+	cfg := runHugeConfig()
+	cfg.Shards = 4
+	var pkts, flows int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = res.Summary.PacketsSent
+		flows = int64(res.Summary.FlowsStarted)
+	}
+	b.StopTimer()
+	if flows < 1_000_000 {
+		b.Fatalf("scale=huge started %d flows, want >= 1M", flows)
+	}
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(pkts)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		b.ReportMetric(float64(flows), "flows/run")
+	}
+	b.ReportMetric(float64(cfg.Shards), "shards")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 // peakRSSMB returns the process's peak resident set size in MiB, or 0 when

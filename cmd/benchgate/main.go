@@ -6,13 +6,16 @@
 //	benchgate -max-regress 10 -zero-alloc BenchmarkDatapath BENCH_run.json
 //	benchgate -min-improve 20 -zero-alloc BenchmarkEngine BENCH_core.json
 //	benchgate -max-regress 10 -max-rss-mb 2048 BENCH_scale.json
+//	benchgate -min-parallel-speedup 2.0 BENCH_parallel.json
 //
 // -max-regress bounds how far the headline metric (pkts/s for the run
 // report, events/s for the core report) may fall below its recorded
 // baseline; -min-improve demands it stay at least that far above.
 // -zero-alloc requires every benchmark whose name starts with the given
 // prefix to report exactly 0 allocs/op; it may be repeated. -max-rss-mb
-// bounds the scale run's recorded process peak RSS.
+// bounds the scale run's recorded process peak RSS. -min-parallel-speedup
+// requires the sharded scale=huge run to beat the serial one by the given
+// factor when the bench machine has at least 4 cores.
 package main
 
 import (
@@ -30,6 +33,7 @@ type report struct {
 	CancelChurn   *comparison    `json:"cancel_churn"`
 	RunThroughput *runThroughput `json:"run_throughput"`
 	ScaleRun      *scaleRun      `json:"scale_run"`
+	ParallelRun   *parallelRun   `json:"parallel_run"`
 }
 
 type benchmark struct {
@@ -59,6 +63,14 @@ type scaleRun struct {
 	ImprovementPct     float64 `json:"improvement_pct"`
 }
 
+type parallelRun struct {
+	SerialPktsPerSec  float64 `json:"serial_pkts_per_sec"`
+	ShardedPktsPerSec float64 `json:"sharded_pkts_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	Shards            float64 `json:"shards"`
+	Cores             float64 `json:"cores"`
+}
+
 // prefixList collects repeated -zero-alloc flags.
 type prefixList []string
 
@@ -72,6 +84,8 @@ func main() {
 		"fail if the headline metric improves less than this percent over baseline")
 	maxRSS := flag.Float64("max-rss-mb", -1,
 		"fail if the scale run's peak RSS exceeds this many MiB")
+	minSpeedup := flag.Float64("min-parallel-speedup", -1,
+		"fail if the sharded run's speedup over serial is below this factor (skipped with a warning when the bench machine had < 4 cores)")
 	var zeroAlloc prefixList
 	flag.Var(&zeroAlloc, "zero-alloc",
 		"require 0 allocs/op for benchmarks with this name prefix (repeatable)")
@@ -146,6 +160,29 @@ func main() {
 		default:
 			fmt.Printf("%-48s %.0f MiB peak RSS (envelope %.0f MiB)  ok\n",
 				"scale=huge", rep.ScaleRun.PeakRSSMB, *maxRSS)
+		}
+	}
+
+	// Multi-core gate: the sharded scale=huge run must beat the serial one
+	// by the required factor. A speedup needs cores to show up on, so on a
+	// bench machine with fewer than 4 the gate degrades to a warning — the
+	// recorded numbers still land in the report for machines that can tell.
+	if *minSpeedup >= 0 {
+		switch {
+		case rep.ParallelRun == nil:
+			fail("report carries no parallel_run block to gate speedup on")
+		case rep.ParallelRun.Cores < 4:
+			fmt.Printf("%-48s %.2fx speedup (%.0f shards, %.0f cores)  skipped: needs >= 4 cores\n",
+				"parallel scale=huge", rep.ParallelRun.Speedup,
+				rep.ParallelRun.Shards, rep.ParallelRun.Cores)
+		case rep.ParallelRun.Speedup < *minSpeedup:
+			fail("sharded run speedup %.2fx below the %.2fx floor (%.0f shards, %.0f cores)",
+				rep.ParallelRun.Speedup, *minSpeedup,
+				rep.ParallelRun.Shards, rep.ParallelRun.Cores)
+		default:
+			fmt.Printf("%-48s %.2fx speedup (%.0f shards, %.0f cores)  ok\n",
+				"parallel scale=huge", rep.ParallelRun.Speedup,
+				rep.ParallelRun.Shards, rep.ParallelRun.Cores)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -98,5 +99,43 @@ func TestGateMinImprove(t *testing.T) {
 	}
 	if code := gate(t, passingRun, "-min-improve", "40"); code != 1 {
 		t.Errorf("30%% improvement passed the 40%% floor (exit %d)", code)
+	}
+}
+
+// parallelReport builds a parallel_run report with the given speedup and
+// core count.
+func parallelReport(speedup, cores float64) string {
+	return `{
+	  "benchmarks": [],
+	  "parallel_run": {
+	    "serial_pkts_per_sec": 100000,
+	    "sharded_pkts_per_sec": ` + fmtF(100000*speedup) + `,
+	    "speedup": ` + fmtF(speedup) + `,
+	    "shards": 4,
+	    "cores": ` + fmtF(cores) + `
+	  }
+	}`
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+func TestGateParallelSpeedup(t *testing.T) {
+	// Enough cores, enough speedup: pass.
+	if code := gate(t, parallelReport(2.6, 4), "-min-parallel-speedup", "2.0"); code != 0 {
+		t.Errorf("2.6x on 4 cores failed the 2.0x floor (exit %d)", code)
+	}
+	// Enough cores, too slow: fail.
+	if code := gate(t, parallelReport(1.4, 4), "-min-parallel-speedup", "2.0"); code != 1 {
+		t.Errorf("1.4x on 4 cores passed the 2.0x floor (exit %d)", code)
+	}
+	// Too few cores: the gate degrades to a warning — a 1-core bench
+	// machine cannot demonstrate a speedup, and must not fail CI for it.
+	if code := gate(t, parallelReport(1.0, 1), "-min-parallel-speedup", "2.0"); code != 0 {
+		t.Errorf("1-core report failed the speedup gate instead of skipping (exit %d)", code)
+	}
+	// No parallel_run block at all: fail loudly, same rationale as the
+	// empty zero-alloc match set.
+	if code := gate(t, `{"benchmarks": []}`, "-min-parallel-speedup", "2.0"); code != 1 {
+		t.Errorf("missing parallel_run block passed the speedup gate (exit %d)", code)
 	}
 }

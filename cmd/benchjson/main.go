@@ -54,6 +54,11 @@ type Report struct {
 	// scale=huge gauge: pkts/s with the same sticky-baseline discipline as
 	// RunThroughput, plus the run's peak RSS for the memory-envelope gate.
 	ScaleRun *ScaleRun `json:"scale_run,omitempty"`
+	// ParallelRun compares the sharded scale=huge run
+	// (BenchmarkRunThroughputHugeParallel) against the serial
+	// BenchmarkRunThroughputHuge from the same bench pass: the multi-core
+	// speedup the sharded engine delivers on this machine.
+	ParallelRun *ParallelRun `json:"parallel_run,omitempty"`
 }
 
 // RunThroughput is the whole-run packets/sec comparison.
@@ -73,6 +78,19 @@ type ScaleRun struct {
 	PeakRSSMB          float64 `json:"peak_rss_mb"`
 	// ImprovementPct is (pkts_per_sec/baseline - 1) * 100.
 	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// ParallelRun is the serial-vs-sharded scale=huge comparison. Both numbers
+// come from the same bench pass on the same machine, so the speedup is a
+// like-for-like wall-clock ratio; Cores records GOMAXPROCS at bench time
+// because the gate only applies on machines with enough cores to show one.
+type ParallelRun struct {
+	SerialPktsPerSec  float64 `json:"serial_pkts_per_sec"`
+	ShardedPktsPerSec float64 `json:"sharded_pkts_per_sec"`
+	// Speedup is sharded/serial pkts/s.
+	Speedup float64 `json:"speedup"`
+	Shards  float64 `json:"shards"`
+	Cores   float64 `json:"cores"`
 }
 
 // Comparison is a new-vs-baseline delta derived from two benchmarks.
@@ -156,6 +174,18 @@ func main() {
 			FlowsPerRun:        sr.Metrics["flows/run"],
 			PeakRSSMB:          sr.Metrics["peak_rss_mb"],
 			ImprovementPct:     (cur/base - 1) * 100,
+		}
+	}
+
+	if ser, par := find(rep.Benchmarks, "BenchmarkRunThroughputHuge"),
+		find(rep.Benchmarks, "BenchmarkRunThroughputHugeParallel"); ser != nil && par != nil &&
+		ser.Metrics["pkts/s"] > 0 && par.Metrics["pkts/s"] > 0 {
+		rep.ParallelRun = &ParallelRun{
+			SerialPktsPerSec:  ser.Metrics["pkts/s"],
+			ShardedPktsPerSec: par.Metrics["pkts/s"],
+			Speedup:           par.Metrics["pkts/s"] / ser.Metrics["pkts/s"],
+			Shards:            par.Metrics["shards"],
+			Cores:             par.Metrics["cores"],
 		}
 	}
 

@@ -63,6 +63,7 @@ func realMain() error {
 		healDelay  = flag.Duration("heal-delay", 0, "control-plane healing delay after each -fault topology change (0 = healing off)")
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run; an over-budget run fails its row (0 = unlimited)")
 		trainLen   = flag.Int("train", -1, "dataplane packet-train length override: 0 = per-packet engine, >=2 = coalesce; -1 keeps the default (results are identical at any value)")
+		shards     = flag.Int("shards", 0, "shard every simulation across this many topology domains on separate cores (tables are deterministic per shard count; <=1 = serial engine)")
 
 		debugAddr = flag.String("debug-addr", "", "serve the introspection plane on this address, e.g. localhost:9464 (/metrics, /statusz, /healthz, /debug/pprof)")
 		rawSeries = flag.String("raw-series", "auto", "raw FCT/QCT series retention: auto (drop past 200k flows/run), keep, drop (histograms still carry the distributions)")
@@ -173,6 +174,7 @@ func realMain() error {
 	exp.HealDelay = units.FromDuration(*healDelay)
 	exp.RunTimeout = *runTimeout
 	exp.TrainLen = *trainLen
+	exp.Shards = *shards
 	exp.FlightLen = *flightLen
 	rm, err := metrics.ParseRawMode(*rawSeries)
 	if err != nil {

@@ -47,6 +47,7 @@ func main() {
 		telemetry = flag.Bool("telemetry", false, "print the per-port monitoring report (§5)")
 		pktTrace  = flag.String("packet-trace", "", "write a per-event dataplane trace to this file")
 		traceFlow = flag.Uint64("packet-trace-flow", 0, "flow ID to trace (0 = all flows)")
+		shards    = flag.Int("shards", 0, "shard the run across this many topology domains on separate cores (deterministic per shard count; <=1 = serial engine)")
 		debugAddr = flag.String("debug-addr", "", "serve the introspection plane on this address, e.g. localhost:9464 (/metrics, /statusz, /healthz, /debug/pprof)")
 	)
 	flag.Parse()
@@ -90,6 +91,7 @@ func main() {
 	cfg.Telemetry = *telemetry
 	cfg.PacketTracePath = *pktTrace
 	cfg.PacketTraceFlow = *traceFlow
+	cfg.Shards = *shards
 	rep, err := vertigo.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vertigo-sim:", err)

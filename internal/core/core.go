@@ -132,6 +132,16 @@ type Config struct {
 	// to the histograms; the zero value (metrics.RawAuto) keeps them for
 	// runs up to metrics.RawAutoMaxFlows started flows.
 	RawSeries metrics.RawMode
+
+	// Shards, when > 1, splits the run across that many topology domains
+	// executing on separate cores under a conservative window protocol
+	// (see parallel.go). Values <= 1, configurations a shard cannot carry
+	// (live Monitor telemetry, text packet traces), and topologies without
+	// usable lookahead all degrade to the serial engine. Sharded results
+	// are deterministic per shard count but follow different random
+	// interleavings than the serial engine, so -shards=N is statistically —
+	// not bitwise — comparable to -shards=1.
+	Shards int
 }
 
 // Budget sentinels. Run wraps these into its abort errors so callers can
@@ -292,6 +302,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+
+	if cfg.shardable() {
+		part, perr := topo.NewPartition(t, cfg.Shards)
+		if perr != nil {
+			return nil, perr
+		}
+		if part.N > 1 {
+			return runSharded(cfg, t, part)
+		}
 	}
 
 	eng := sim.NewEngine(cfg.Seed)

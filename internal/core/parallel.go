@@ -1,0 +1,475 @@
+// Sharded (multi-core) execution of one scenario: the topology is cut into
+// domains (topo.Partition), each domain runs the full stack — its own
+// sim.Engine, calendar queue, fabric replica, packet pool and metrics
+// collector — on its own goroutine, and the domains advance in conservative
+// time windows bounded by the minimum cross-domain link latency (lookahead).
+// Cross-domain packets are exchanged between windows in canonical
+// (time, source switch, source port) order, so a run's results are
+// deterministic for a given shard count regardless of -j, GOMAXPROCS or
+// goroutine scheduling.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"vertigo/internal/fabric"
+	"vertigo/internal/faults"
+	"vertigo/internal/host"
+	"vertigo/internal/metrics"
+	"vertigo/internal/packet"
+	"vertigo/internal/sim"
+	"vertigo/internal/telemetry"
+	"vertigo/internal/topo"
+	"vertigo/internal/transport"
+	"vertigo/internal/units"
+	"vertigo/internal/workload"
+)
+
+// shardable reports whether the configuration can run sharded at all.
+// The live Monitor and the text packet tracer are serial-only consumers
+// (their output formats have no canonical merge); everything else shards.
+func (c *Config) shardable() bool {
+	if c.Shards <= 1 {
+		return false
+	}
+	if c.Telemetry {
+		return false
+	}
+	if c.PacketTrace != nil && !c.PacketTraceJSON {
+		return false
+	}
+	return true
+}
+
+// flowOp is one pre-materialized flow arrival; rank order (the slice index)
+// is the global arrival order and mints the flow's globally unique ID.
+type flowOp struct {
+	At       units.Time
+	Src, Dst int
+	Size     int64
+	Incast   bool
+	Query    int // rank into materialized.queries, or -1
+	ID       uint64
+}
+
+// queryOp is one pre-materialized incast query. Client is -1 when none of
+// the query's response flows landed inside the horizon (the query can then
+// never complete, exactly as in a serial run, and is owned by domain 0).
+type queryOp struct {
+	At     units.Time
+	Client int
+	Scale  int
+}
+
+type materialized struct {
+	flows   []flowOp
+	queries []queryOp
+}
+
+// materializeWorkload replays the synthetic generators (Background, Trace,
+// Incast) against a throwaway engine seeded identically to a serial run,
+// recording every flow and query arrival instead of starting transports.
+// The generators are the only workload-side consumers of the engine's
+// global random stream, so the recorded schedule is a deterministic
+// function of (Seed, workload config) alone — independent of shard count.
+func materializeWorkload(cfg *Config, t *topo.Topology) *materialized {
+	m := &materialized{}
+	eng := sim.NewEngine(cfg.Seed)
+	met := metrics.NewCollector()
+	start := func(src, dst int, size int64, incast bool, query int) {
+		m.flows = append(m.flows, flowOp{
+			At: eng.Now(), Src: src, Dst: dst, Size: size,
+			Incast: incast, Query: query, ID: uint64(len(m.flows) + 1),
+		})
+	}
+	if cfg.BGLoad > 0 {
+		dist := cfg.BGDist
+		if dist == nil {
+			dist = workload.CacheFollower
+		}
+		bg := &workload.Background{
+			Eng: eng, Hosts: t.NumHosts, Dist: dist,
+			HostRate: cfg.HostRate(), Load: cfg.BGLoad, Start: start,
+		}
+		bg.Run(cfg.SimTime)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Run(eng, cfg.SimTime, start)
+	}
+	if cfg.IncastQPS > 0 && cfg.IncastScale > 0 {
+		ic := &workload.Incast{
+			Eng: eng, Met: met, Hosts: t.NumHosts,
+			QPS: cfg.IncastQPS, Scale: cfg.IncastScale, FlowSize: cfg.IncastFlowSize,
+			Periodic: cfg.IncastPeriodic, RequestDelay: cfg.RequestDelay,
+			Start: start,
+		}
+		ic.Run(cfg.SimTime)
+	}
+	eng.Run(cfg.SimTime)
+	for _, q := range met.Queries {
+		m.queries = append(m.queries, queryOp{At: q.Start, Client: -1, Scale: q.Scale})
+	}
+	for i := range m.flows {
+		if q := m.flows[i].Query; q >= 0 && m.queries[q].Client < 0 {
+			m.queries[q].Client = m.flows[i].Dst
+		}
+	}
+	return m
+}
+
+// domOp is one entry of a domain's arrival cursor: a query registration or a
+// flow start owned by that domain.
+type domOp struct {
+	at    units.Time
+	query bool
+	rank  int
+}
+
+// opPump replays a domain's share of the materialized workload through one
+// self-rescheduling engine event, so the window barrier always sees the next
+// arrival in PeekTime.
+type opPump struct {
+	eng  *sim.Engine
+	ops  []domOp
+	i    int
+	exec func(domOp)
+	fire func()
+}
+
+func (pp *opPump) arm() {
+	if pp.i < len(pp.ops) {
+		pp.eng.At(pp.ops[pp.i].at, pp.fire)
+	}
+}
+
+func (pp *opPump) init() {
+	pp.fire = func() {
+		now := pp.eng.Now()
+		for pp.i < len(pp.ops) && pp.ops[pp.i].at == now {
+			pp.exec(pp.ops[pp.i])
+			pp.i++
+		}
+		pp.arm()
+	}
+	pp.arm()
+}
+
+// domain is one shard: a full simulation stack owning a slice of the
+// topology.
+type domain struct {
+	idx      int
+	eng      *sim.Engine
+	met      *metrics.Collector
+	net      *fabric.Network
+	sampler  *telemetry.Sampler
+	tracer   *telemetry.Tracer
+	traceBuf bytes.Buffer
+	outbox   [][]fabric.CrossItem // per destination domain, drained each window
+	pump     opPump
+
+	cmd chan units.Time // window deadline; closed to stop the goroutine
+	res chan any        // recovered panic value, nil on clean window
+}
+
+// runShard is the domain goroutine: advance to each commanded deadline,
+// forwarding panics to the coordinator instead of crashing the process.
+func (d *domain) runShard() {
+	for until := range d.cmd {
+		var pan any
+		func() {
+			defer func() { pan = recover() }()
+			d.eng.Run(until)
+		}()
+		d.res <- pan
+	}
+}
+
+// runSharded executes cfg split across part.N domains. Callers guarantee
+// cfg validated, cfg.shardable() and part.N > 1.
+func runSharded(cfg Config, t *topo.Topology, part *topo.Partition) (*Result, error) {
+	nDom := part.N
+	m := materializeWorkload(&cfg, t)
+
+	vertigoStack := cfg.VertigoStack || cfg.Fabric.Policy == fabric.Vertigo
+	ocfg := cfg.Orderer
+	ocfg.Discipline = cfg.Marker.Discipline
+	ocfg.BoostFactorLog2 = cfg.Marker.BoostFactorLog2
+
+	doms := make([]*domain, nDom)
+	for di := 0; di < nDom; di++ {
+		d := &domain{
+			idx:    di,
+			eng:    sim.NewEngine(cfg.Seed),
+			met:    metrics.NewCollector(),
+			outbox: make([][]fabric.CrossItem, nDom),
+			cmd:    make(chan units.Time),
+			res:    make(chan any),
+		}
+		if di == 0 {
+			d.eng.SetFlight(cfg.Flight)
+		}
+		d.met.RawSeries = cfg.RawSeries
+		sd := &fabric.ShardCtx{
+			Domain:       di,
+			SwitchDomain: part.SwitchDomain,
+			HostDomain:   part.HostDomain,
+			Emit: func(dst int, it fabric.CrossItem) {
+				d.outbox[dst] = append(d.outbox[dst], it)
+			},
+		}
+		d.net = fabric.NewSharded(d.eng, t, d.met, cfg.Fabric, sd)
+		if cfg.PacketTrace != nil {
+			d.tracer = telemetry.NewJSONTracer(d.eng, &d.traceBuf, cfg.PacketTraceFlow)
+			d.net.AddObserver(d.tracer)
+		}
+		if cfg.SampleTick > 0 {
+			d.sampler = telemetry.NewSampler(d.eng, telemetry.SamplerConfig{Tick: cfg.SampleTick})
+			d.sampler.Start(cfg.SimTime)
+			d.net.AddObserver(d.sampler)
+		}
+		for _, lf := range cfg.LinkFailures {
+			if err := d.net.FailLinkAt(lf.Link, lf.At); err != nil {
+				return nil, err
+			}
+		}
+		if !cfg.Faults.Empty() {
+			if _, err := faults.Apply(d.eng, d.net, cfg.Faults, cfg.HealDelay); err != nil {
+				return nil, err
+			}
+		}
+
+		// Every domain instantiates all hosts (marker/orderer state is
+		// cheap, and the fabric replica's NIC wiring expects them), but only
+		// owned hosts ever see traffic.
+		ids := &packet.IDGen{}
+		senders := transport.NewSenderPool(cfg.Transport)
+		receivers := transport.NewReceiverPool(d.eng, d.net, d.met, ids)
+		hosts := make([]*host.Host, t.NumHosts)
+		for i := 0; i < t.NumHosts; i++ {
+			h := host.NewHost(i, d.eng, d.net, d.met, cfg.Marker, ocfg, vertigoStack)
+			h.SetAcceptor(func(first *packet.Packet) func(*packet.Packet) {
+				return receivers.Accept(h, first)
+			})
+			hosts[i] = h
+		}
+
+		// The domain's arrival cursor: queries registered where the client
+		// lives, flows registered where they complete (the destination) and
+		// started where they originate. qmap carries the destination
+		// domain's local query IDs.
+		qmap := make([]int, len(m.queries))
+		var ops []domOp
+		for rank, q := range m.queries {
+			qd := 0
+			if q.Client >= 0 {
+				qd = part.HostDomain[q.Client]
+			}
+			if qd == di {
+				ops = append(ops, domOp{at: q.At, query: true, rank: rank})
+			}
+		}
+		for rank, f := range m.flows {
+			if part.HostDomain[f.Src] == di || part.HostDomain[f.Dst] == di {
+				ops = append(ops, domOp{at: f.At, rank: rank})
+			}
+		}
+		sort.SliceStable(ops, func(i, j int) bool {
+			if ops[i].at != ops[j].at {
+				return ops[i].at < ops[j].at
+			}
+			// Queries registered before any same-instant flow referencing
+			// them; rank order breaks the remaining ties.
+			if ops[i].query != ops[j].query {
+				return ops[i].query
+			}
+			return ops[i].rank < ops[j].rank
+		})
+		d.pump = opPump{eng: d.eng, ops: ops}
+		d.pump.exec = func(op domOp) {
+			if op.query {
+				q := m.queries[op.rank]
+				qmap[op.rank] = d.met.StartQuery(q.Scale, q.At)
+				return
+			}
+			f := m.flows[op.rank]
+			if part.HostDomain[f.Dst] == di {
+				cls := metrics.Background
+				if f.Incast {
+					cls = metrics.Incast
+				}
+				localQ := -1
+				if f.Query >= 0 {
+					localQ = qmap[f.Query]
+				}
+				d.met.StartFlow(metrics.FlowRecord{
+					ID: f.ID, Class: cls, Src: f.Src, Dst: f.Dst,
+					Size: f.Size, Start: f.At, Query: localQ,
+				})
+			}
+			if part.HostDomain[f.Src] == di {
+				spec := transport.FlowSpec{
+					ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size,
+					Incast: f.Incast, Query: -1, Preregistered: true,
+				}
+				senders.Get(hosts[f.Src], d.met, ids, spec, nil).Start()
+			}
+		}
+		d.pump.init()
+
+		if di == 0 && cfg.ChaosPanicAt > 0 {
+			at := cfg.ChaosPanicAt
+			d.eng.At(at, func() {
+				panic(fmt.Sprintf("core: deliberate chaos panic at t=%v (ChaosPanicAt)", at))
+			})
+		}
+		if cfg.WallTimeout > 0 {
+			d.eng.SetWallDeadline(cfg.WallTimeout)
+		}
+		if cfg.MaxEvents > 0 {
+			// Per-domain budget: any single shard firing this many events
+			// aborts the run, mirroring the serial cap's intent (bound
+			// runaway scenarios deterministically).
+			d.eng.SetMaxEvents(cfg.MaxEvents)
+		}
+		doms[di] = d
+	}
+
+	stopped := false
+	stop := func() {
+		if !stopped {
+			stopped = true
+			for _, d := range doms {
+				close(d.cmd)
+			}
+		}
+	}
+	defer stop()
+	for _, d := range doms {
+		go d.runShard()
+	}
+
+	// advance runs every domain to `until` in parallel and re-raises the
+	// first (lowest-domain) panic on this goroutine, preserving the serial
+	// crash-isolation contract (exp's safeRun, flight dumps).
+	advance := func(until units.Time) {
+		for _, d := range doms {
+			d.cmd <- until
+		}
+		var pan any
+		for _, d := range doms {
+			if r := <-d.res; r != nil && pan == nil {
+				pan = r
+			}
+		}
+		if pan != nil {
+			stop()
+			panic(pan)
+		}
+	}
+	checkBudgets := func() error {
+		for _, d := range doms {
+			if d.eng.DeadlineExceeded() {
+				return fmt.Errorf("core: shard %d exceeded its %v wall-clock budget at t=%v (%d events fired): %w",
+					d.idx, cfg.WallTimeout, d.eng.Now(), d.eng.Events(), ErrWallBudget)
+			}
+			if d.eng.MaxEventsExceeded() {
+				return fmt.Errorf("core: shard %d exceeded its %d-event budget at t=%v: %w",
+					d.idx, cfg.MaxEvents, d.eng.Now(), ErrMaxEvents)
+			}
+		}
+		return nil
+	}
+
+	// The conservative window loop. Every pending event sits at or after
+	// tmin, so any packet committed during the window arrives no earlier
+	// than tmin + lookahead = wEnd: running each domain to wEnd-1 inclusive
+	// can never miss a cross-domain arrival.
+	lookahead := part.Lookahead
+	for {
+		var tmin units.Time
+		have := false
+		for _, d := range doms {
+			if at, ok := d.eng.PeekTime(); ok && (!have || at < tmin) {
+				tmin, have = at, true
+			}
+		}
+		if !have || tmin > cfg.SimTime {
+			break
+		}
+		wEnd := tmin + lookahead
+		if wEnd > cfg.SimTime+1 {
+			wEnd = cfg.SimTime + 1
+		}
+		advance(wEnd - 1)
+		if err := checkBudgets(); err != nil {
+			return nil, err
+		}
+		// Exchange: gather each destination's arrivals across all source
+		// outboxes, restore canonical order, inject.
+		for dst, d := range doms {
+			var batch []fabric.CrossItem
+			for _, src := range doms {
+				batch = append(batch, src.outbox[dst]...)
+				src.outbox[dst] = src.outbox[dst][:0]
+			}
+			fabric.SortCross(batch)
+			d.net.InjectCross(batch)
+		}
+	}
+	// Settle every clock exactly at the horizon, as the serial engine does.
+	advance(cfg.SimTime)
+	stop()
+	if err := checkBudgets(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge, domain 0 first.
+	met := metrics.NewCollector()
+	met.RawSeries = cfg.RawSeries
+	res := &Result{Collector: met}
+	var traces [][]byte
+	var samplers []*telemetry.Sampler
+	for _, d := range doms {
+		d.eng.FinishObs()
+		d.net.Pool().PublishObs()
+		met.Merge(d.met)
+		res.Events += d.eng.Events()
+		es, ps, ts := d.eng.Stats(), d.net.Pool().Stats(), d.net.TrainStats()
+		res.Engine.Events += es.Events
+		res.Engine.Scheduled += es.Scheduled
+		res.Engine.FreeListHits += es.FreeListHits
+		res.Engine.TombstonedPops += es.TombstonedPops
+		res.Engine.HeapSweeps += es.HeapSweeps
+		if es.PeakPending > res.Engine.PeakPending {
+			res.Engine.PeakPending = es.PeakPending
+		}
+		res.Pool.Gets += ps.Gets
+		res.Pool.Hits += ps.Hits
+		res.Pool.Puts += ps.Puts
+		res.Pool.Slabs += ps.Slabs
+		res.Trains.Trains += ts.Trains
+		res.Trains.Segments += ts.Segments
+		res.Trains.Invalidated += ts.Invalidated
+		if d.tracer != nil {
+			if err := d.tracer.Flush(); err != nil {
+				return nil, fmt.Errorf("core: flushing shard %d packet trace: %w", d.idx, err)
+			}
+			traces = append(traces, d.traceBuf.Bytes())
+		}
+		if d.sampler != nil {
+			samplers = append(samplers, d.sampler)
+		}
+	}
+	if cfg.PacketTrace != nil {
+		if err := telemetry.MergeJSONLTraces(cfg.PacketTrace, traces); err != nil {
+			return nil, fmt.Errorf("core: merging packet traces: %w", err)
+		}
+	}
+	if len(samplers) > 0 {
+		res.Sampler = telemetry.MergeSamplers(samplers)
+	}
+	res.Summary = met.Summarize(cfg.SimTime)
+	return res, nil
+}

@@ -229,6 +229,13 @@ var TrainLen = -1
 // exercises the histogram fallback everywhere.
 var RawMode metrics.RawMode
 
+// Shards, when > 1, runs every scenario sharded across that many topology
+// domains (the -shards CLI flag). Results are deterministic per shard count
+// — byte-identical tables for a given -shards at any -j — but -shards=N
+// follows different random interleavings than the serial engine, so it is
+// statistically, not bitwise, comparable to -shards=1.
+var Shards int
+
 // FlightLen is the per-run crash flight recorder's ring size: the last
 // FlightLen dataplane records (events, drops, faults) are dumped to
 // flight.jsonl when a run panics or the wall-clock watchdog kills it
@@ -400,6 +407,9 @@ func (o *Options) applyTo(cfg core.Config) core.Config {
 	}
 	if o.TrainLen >= 0 {
 		cfg.Fabric.TrainLen = o.TrainLen
+	}
+	if o.Shards > 1 && cfg.Shards == 0 {
+		cfg.Shards = o.Shards
 	}
 	if o.RawMode != metrics.RawAuto && cfg.RawSeries == metrics.RawAuto {
 		cfg.RawSeries = o.RawMode

@@ -69,6 +69,10 @@ type Options struct {
 	// RawMode, when not RawAuto, overrides every run's raw-series
 	// retention.
 	RawMode metrics.RawMode
+	// Shards, when > 1, runs every scenario sharded across that many
+	// topology domains (core.Config.Shards); configurations or topologies
+	// a shard cannot carry degrade to serial per run.
+	Shards int
 	// ChaosPanicAt, when positive, sets core.Config.ChaosPanicAt on every
 	// run that does not set its own: a deterministic crash drill for the
 	// recover/flight-dump machinery.
@@ -112,6 +116,7 @@ func DefaultOptions() *Options {
 		HealDelay:     HealDelay,
 		TrainLen:      TrainLen,
 		RawMode:       RawMode,
+		Shards:        Shards,
 		ChaosPanicAt:  ChaosPanicAt,
 		Progress:      Progress,
 		OnRun:         OnRun,

@@ -200,6 +200,12 @@ type Network struct {
 	trainsPlanned uint64
 	trainSegs     uint64
 	trainInvals   uint64
+
+	// Sharded execution (nil when serial — see shard.go): the domain
+	// context this replica runs under, and the inbox delivering packets
+	// injected from other domains.
+	shard *ShardCtx
+	inbox crossInbox
 }
 
 // TrainStats reports packet-train coalescing activity: how many trains were
@@ -449,7 +455,9 @@ func (n *Network) SetLinkState(li int, up bool) {
 	if up {
 		kind = telemetry.FaultLinkUp
 	}
-	n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: li, Switch: -1})
+	if n.ownsLink(li) {
+		n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: li, Switch: -1})
+	}
 }
 
 // setLinkState flips both ports of link li without emitting a fault event
@@ -474,8 +482,12 @@ func (n *Network) setLinkState(li int, up bool) {
 	now := n.Eng.Now()
 	if up {
 		if since := n.linkDownSince[li]; since >= 0 {
-			n.Met.Recovered(now - since)
-			obsTTR.Observe(int64(now - since))
+			// Sharded runs replicate the state flip in every domain but
+			// account for it once, in the owning domain.
+			if n.ownsLink(li) {
+				n.Met.Recovered(now - since)
+				obsTTR.Observe(int64(now - since))
+			}
 			n.linkDownSince[li] = -1
 		}
 	} else if n.linkDownSince[li] < 0 {
@@ -508,7 +520,9 @@ func (n *Network) SetSwitchState(sw int, up bool) {
 	if up {
 		kind = telemetry.FaultSwitchUp
 	}
-	n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: -1, Switch: sw})
+	if n.ownsSwitch(sw) {
+		n.emitFault(telemetry.FaultEvent{Time: n.Eng.Now(), Kind: kind, Link: -1, Switch: sw})
+	}
 }
 
 // SetLinkBERAt schedules a bit-error rate change on link li at time at: each
@@ -536,9 +550,11 @@ func (n *Network) SetLinkBER(li int, ber float64) {
 		pt.invalidate()
 		pt.ber = ber
 	}
-	n.emitFault(telemetry.FaultEvent{
-		Time: n.Eng.Now(), Kind: telemetry.FaultCorrupt, Link: li, Switch: -1, Value: ber,
-	})
+	if n.ownsLink(li) {
+		n.emitFault(telemetry.FaultEvent{
+			Time: n.Eng.Now(), Kind: telemetry.FaultCorrupt, Link: li, Switch: -1, Value: ber,
+		})
+	}
 }
 
 // SetLinkRateFactorAt schedules a rate brownout on link li at time at: the
@@ -568,9 +584,11 @@ func (n *Network) SetLinkRateFactor(li int, factor float64) {
 			pt.rate = 1
 		}
 	}
-	n.emitFault(telemetry.FaultEvent{
-		Time: n.Eng.Now(), Kind: telemetry.FaultDegrade, Link: li, Switch: -1, Value: factor,
-	})
+	if n.ownsLink(li) {
+		n.emitFault(telemetry.FaultEvent{
+			Time: n.Eng.Now(), Kind: telemetry.FaultDegrade, Link: li, Switch: -1, Value: factor,
+		})
+	}
 }
 
 // InstallFIB swaps the forwarding tables every switch consults — the
@@ -580,11 +598,13 @@ func (n *Network) SetLinkRateFactor(li int, factor float64) {
 // thread (schedule via the engine).
 func (n *Network) InstallFIB(fib [][][]int) {
 	n.fib = fib
-	n.Met.FIBInstalls++
-	obsFIBInstalls.Inc()
-	n.emitFault(telemetry.FaultEvent{
-		Time: n.Eng.Now(), Kind: telemetry.FaultFIBHeal, Link: -1, Switch: -1,
-	})
+	if n.ownsControl() {
+		n.Met.FIBInstalls++
+		obsFIBInstalls.Inc()
+		n.emitFault(telemetry.FaultEvent{
+			Time: n.Eng.Now(), Kind: telemetry.FaultFIBHeal, Link: -1, Switch: -1,
+		})
+	}
 }
 
 // LinkDown reports whether link li currently has no carrier.
@@ -689,6 +709,16 @@ type Port struct {
 	wasDown bool    // carrier was lost and later restored at least once
 	ber     float64 // bit-error corruption probability per transmitted packet
 	deliver func(*packet.Packet)
+
+	// Cross-domain egress (sharded runs only): the peer switch lives in
+	// another domain, so committed packets are emitted to the coordinator
+	// instead of riding the local wire, and trains stand down (commit-time
+	// emission must happen per packet). berRNG is the positional bit-error
+	// stream substituting for the engine's global one.
+	xdom   bool
+	xdst   int32 // destination domain
+	xpeer  int32 // peer switch ID in that domain
+	berRNG xrand.Source
 
 	// rng is the port's private jitter stream. Draw k is a pure function of
 	// (engine seed, port identity, k), so planning a train draws the same
@@ -921,6 +951,12 @@ const keepInflight = 64
 // pushInflight appends a committed packet to the in-flight FIFO, growing
 // the parallel arrays through the network's shared arena.
 func (pt *Port) pushInflight(p *packet.Packet, at units.Time) {
+	if pt.xdom {
+		// The peer lives in another domain: the packet leaves this replica
+		// at commit time and arrives through the peer domain's inbox.
+		pt.emitCross(p, at)
+		return
+	}
 	if n := len(pt.inflight); n == cap(pt.inflight) || n == cap(pt.inflightAt) {
 		need := 2 * n
 		if need < 8 {
@@ -1121,7 +1157,7 @@ func (pt *Port) maybeSend() {
 		}
 		return
 	}
-	if pt.net.trainsOK() && pt.ber == 0 && pt.q.Len() > 1 {
+	if pt.net.trainsOK() && pt.ber == 0 && !pt.xdom && pt.q.Len() > 1 {
 		pt.plan(now, vs, vc)
 	} else {
 		pt.sendOne(now, vs)
@@ -1235,7 +1271,7 @@ func (pt *Port) sendOne(now, vs units.Time) {
 		// event; an enqueue landing before then arms the continuation.
 		pt.txArmed = false
 	}
-	if pt.ber > 0 && eng.Rand().Float64() < pt.ber {
+	if pt.ber > 0 && pt.berHit() {
 		// Bit-error corruption: the bits occupy the wire for the full
 		// serialization time, but the far end discards the frame on checksum.
 		pt.net.drop(pt.sw, pt.idx, p, metrics.DropCorrupt)
@@ -1262,6 +1298,11 @@ type Switch struct {
 	// allocation on the deflection paths.
 	deflScratch []int
 	victimOne   [1]*packet.Packet
+
+	// rng is the switch's positional policy stream, consulted instead of
+	// the engine's global one in sharded runs (see Switch.intn) so random
+	// routing decisions are independent of cross-domain interleaving.
+	rng xrand.Source
 }
 
 func newSwitch(n *Network, id int) *Switch {

@@ -53,9 +53,8 @@ func (s *Switch) routeDRILL(p *packet.Packet) {
 	if len(cands) == 1 {
 		best = cands[0]
 	} else {
-		rng := s.net.Eng.Rand()
-		consider(cands[rng.Intn(len(cands))])
-		consider(cands[rng.Intn(len(cands))])
+		consider(cands[s.intn(len(cands))])
+		consider(cands[s.intn(len(cands))])
 		mem, existed := s.drillMem.Put(drillKey(cands))
 		if existed {
 			consider(int(*mem))
@@ -96,9 +95,8 @@ func (s *Switch) routeDIBS(p *packet.Packet) {
 		return
 	}
 	set := s.deflectionSet(p, i)
-	rng := s.net.Eng.Rand()
 	for n := len(set); n > 0; n-- {
-		j := rng.Intn(n)
+		j := s.intn(n)
 		port := set[j]
 		set[j] = set[n-1]
 		if !s.ports[port].down && s.ports[port].fitsNow(p.Size()) {
@@ -232,12 +230,11 @@ func (s *Switch) deflectVertigo(victim *packet.Packet, origin int) {
 // returns the one with the lowest queue occupancy. n=1 is a uniform random
 // pick; ties keep the first sample, matching hardware comparator behaviour.
 func (s *Switch) pickPowerOfN(cands []int, n int) int {
-	rng := s.net.Eng.Rand()
 	if len(cands) == 1 {
 		return cands[0]
 	}
 	if n <= 1 {
-		return cands[rng.Intn(len(cands))]
+		return cands[s.intn(len(cands))]
 	}
 	if n > len(cands) {
 		n = len(cands)
@@ -254,7 +251,7 @@ func (s *Switch) pickPowerOfN(cands []int, n int) int {
 	}
 	idx = append(idx, cands...)
 	for k := 0; k < n; k++ {
-		j := k + rng.Intn(len(idx)-k)
+		j := k + s.intn(len(idx)-k)
 		idx[k], idx[j] = idx[j], idx[k]
 		c := idx[k]
 		if b := s.ports[c].occBytes(); best == -1 || b < bestBytes {

@@ -54,6 +54,10 @@ type Spec struct {
 	MaxEvents uint64 `json:"max_events,omitempty"`
 	// Train overrides the dataplane packet-train length (nil = default).
 	Train *int `json:"train,omitempty"`
+	// Shards, when > 1, runs every simulation sharded across that many
+	// topology domains on separate cores. Tables are deterministic per
+	// shard count; scenarios a shard cannot carry degrade to serial.
+	Shards int `json:"shards,omitempty"`
 	// SampleTick attaches the per-port sampler with this tick.
 	SampleTick string `json:"sample_tick,omitempty"`
 	// TraceFlow attaches a JSONL packet trace for this flow ID.
@@ -181,6 +185,10 @@ func (s *Spec) resolve(d Config) (*resolved, error) {
 	if s.Train != nil {
 		opt.TrainLen = *s.Train
 	}
+	if s.Shards < 0 {
+		return nil, fmt.Errorf("serve: negative shards %d", s.Shards)
+	}
+	opt.Shards = s.Shards
 	if s.RawSeries != "" {
 		rm, err := metrics.ParseRawMode(s.RawSeries)
 		if err != nil {

@@ -552,6 +552,54 @@ func (e *Engine) Run(until units.Time) units.Time {
 	return e.now
 }
 
+// PeekTime returns the fire time of the next pending event without running
+// it, and false when nothing is scheduled. The sharded runner's window
+// barrier calls this between rounds to compute the global minimum next-event
+// time. The scan mirrors Run's min-locate pass — it reaps tombstones and
+// advances the bucket cursor, both of which Run would do anyway, so a
+// subsequent Run observes exactly the state it would have reached itself.
+func (e *Engine) PeekTime() (units.Time, bool) {
+	minI := -1
+	var mAt units.Time
+	var mSeq uint64
+	for {
+		if e.ringCnt == 0 {
+			if len(e.overflow) == 0 {
+				break
+			}
+			e.curB = int64(e.overflow[0].at) >> bucketShift
+			e.migrate()
+		}
+		s := e.curB & ringMask
+		b := e.ring[s]
+		for i := 0; i < len(b); {
+			nd := b[i]
+			if nd.ev.dead {
+				e.tombPops++
+				e.recycle(nd.ev)
+				n := len(b) - 1
+				b[i] = b[n]
+				b[n] = heapNode{}
+				b = b[:n]
+				e.ringCnt--
+				continue
+			}
+			if int64(nd.at)>>bucketShift == e.curB &&
+				(minI < 0 || nd.at < mAt || (nd.at == mAt && nd.seq < mSeq)) {
+				minI, mAt, mSeq = i, nd.at, nd.seq
+			}
+			i++
+		}
+		e.ring[s] = b
+		if minI >= 0 {
+			return mAt, true
+		}
+		e.curB++
+		e.migrate()
+	}
+	return 0, false
+}
+
 // EngineStats snapshots the engine's self-instrumentation: how much work a
 // run did and how well the event free list recycled. Events/sec derived from
 // Events and wall time is the simulator's standing throughput signal.

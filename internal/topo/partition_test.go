@@ -1,0 +1,177 @@
+package topo
+
+import (
+	"testing"
+
+	"vertigo/internal/units"
+)
+
+func partitionTopologies(t *testing.T) map[string]*Topology {
+	t.Helper()
+	out := make(map[string]*Topology)
+	ft, err := NewFatTree(FatTreeConfig{K: 8, Rate: 10 * units.Gbps, LinkDelay: 500 * units.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fattree-k8"] = ft
+	ls, err := NewLeafSpine(LeafSpineConfig{
+		Spines: 4, Leaves: 8, HostsPerLeaf: 5,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 500 * units.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["leafspine"] = ls
+	return out
+}
+
+// Every host lands in exactly one domain, every switch is assigned, and the
+// domain index range is [0, N).
+func TestPartitionCoversEveryHostOnce(t *testing.T) {
+	for name, topo := range partitionTopologies(t) {
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			p, err := NewPartition(topo, n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if len(p.HostDomain) != topo.NumHosts {
+				t.Fatalf("%s n=%d: %d host assignments for %d hosts", name, n, len(p.HostDomain), topo.NumHosts)
+			}
+			counts := make([]int, p.N)
+			for h, d := range p.HostDomain {
+				if d < 0 || d >= p.N {
+					t.Fatalf("%s n=%d: host %d in out-of-range domain %d", name, n, h, d)
+				}
+				counts[d]++
+			}
+			for d, c := range counts {
+				if c == 0 {
+					t.Errorf("%s n=%d: domain %d owns no hosts", name, n, d)
+				}
+			}
+			for sw, d := range p.SwitchDomain {
+				if d < 0 || d >= p.N {
+					t.Fatalf("%s n=%d: switch %d in out-of-range domain %d", name, n, sw, d)
+				}
+			}
+			// Hosts must live in their ToR's domain: the host access link
+			// is never a cross-domain edge.
+			for h, tor := range topo.HostToR {
+				if p.HostDomain[h] != p.SwitchDomain[tor] {
+					t.Fatalf("%s n=%d: host %d in domain %d but its ToR s%d in %d",
+						name, n, h, p.HostDomain[h], tor, p.SwitchDomain[tor])
+				}
+			}
+		}
+	}
+}
+
+// Every cross-domain edge must carry at least the computed lookahead of
+// propagation delay — the conservative window protocol depends on it.
+func TestPartitionLookaheadBoundsCrossEdges(t *testing.T) {
+	for name, topo := range partitionTopologies(t) {
+		for _, n := range []int{2, 4} {
+			p, err := NewPartition(topo, n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+			if p.N != n {
+				t.Fatalf("%s: wanted %d domains, got %d", name, n, p.N)
+			}
+			if p.Lookahead <= 0 {
+				t.Fatalf("%s n=%d: nonpositive lookahead %v", name, n, p.Lookahead)
+			}
+			if len(p.CrossLinks) == 0 {
+				t.Fatalf("%s n=%d: no cross-domain links in a connected fabric", name, n)
+			}
+			for _, li := range p.CrossLinks {
+				l := &topo.Links[li]
+				if p.Domain(l.A) == p.Domain(l.B) {
+					t.Fatalf("%s n=%d: link %d listed as cross-domain but both ends in domain %d",
+						name, n, li, p.Domain(l.A))
+				}
+				if l.Delay < p.Lookahead {
+					t.Fatalf("%s n=%d: cross link %d delay %v below lookahead %v",
+						name, n, li, l.Delay, p.Lookahead)
+				}
+			}
+			// And the complement: links not listed must be intra-domain.
+			cross := make(map[int]bool, len(p.CrossLinks))
+			for _, li := range p.CrossLinks {
+				cross[li] = true
+			}
+			for i := range topo.Links {
+				l := &topo.Links[i]
+				if !cross[i] && p.Domain(l.A) != p.Domain(l.B) {
+					t.Fatalf("%s n=%d: link %d crosses domains but is not in CrossLinks", name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// Degenerate inputs degrade to a serial (N=1) partition instead of failing.
+func TestPartitionDegradesToSerial(t *testing.T) {
+	topo := partitionTopologies(t)["leafspine"]
+	for _, n := range []int{0, 1, -3} {
+		p, err := NewPartition(topo, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.N != 1 {
+			t.Fatalf("n=%d: expected serial degrade, got N=%d", n, p.N)
+		}
+	}
+	// More requested domains than ToRs: clamp, don't fail.
+	p, err := NewPartition(topo, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 8 {
+		t.Fatalf("expected clamp to 8 ToR domains, got %d", p.N)
+	}
+
+	// Zero-latency cross-domain links leave no lookahead: serial degrade.
+	flat, err := NewLeafSpine(LeafSpineConfig{
+		Spines: 2, Leaves: 4, HostsPerLeaf: 2,
+		HostRate: 10 * units.Gbps, FabricRate: 40 * units.Gbps,
+		LinkDelay: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = NewPartition(flat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 1 {
+		t.Fatalf("zero-delay fabric: expected serial degrade, got N=%d", p.N)
+	}
+}
+
+// The fat-tree cut is per-pod: all edges and aggs of one pod share a domain
+// when n divides the pod count.
+func TestPartitionFatTreePods(t *testing.T) {
+	topo := partitionTopologies(t)["fattree-k8"]
+	k, half := 8, 4
+	p, err := NewPartition(topo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 4 {
+		t.Fatalf("got N=%d", p.N)
+	}
+	numEdge := k * half
+	for pod := 0; pod < k; pod++ {
+		want := p.SwitchDomain[pod*half] // pod's first edge switch
+		for e := 0; e < half; e++ {
+			if d := p.SwitchDomain[pod*half+e]; d != want {
+				t.Fatalf("pod %d edge %d in domain %d, pod anchor in %d", pod, e, d, want)
+			}
+			if d := p.SwitchDomain[numEdge+pod*half+e]; d != want {
+				t.Fatalf("pod %d agg %d in domain %d, pod anchor in %d", pod, e, d, want)
+			}
+		}
+	}
+}

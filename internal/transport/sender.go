@@ -17,6 +17,10 @@ type FlowSpec struct {
 	Size     int64
 	Incast   bool
 	Query    int // owning incast query, or -1
+	// Preregistered marks a flow whose metrics record was already created
+	// (sharded runs register every flow in its destination domain's
+	// collector); Start then skips the duplicate StartFlow.
+	Preregistered bool
 }
 
 // Sender is the transmit side of one connection. It is ACK-clocked; Swift
@@ -128,19 +132,21 @@ func (s *Sender) init(sp *SenderPool, cfg *Config, h *host.Host, met *metrics.Co
 
 // Start registers the flow and transmits the initial window.
 func (s *Sender) Start() {
-	cls := metrics.Background
-	if s.spec.Incast {
-		cls = metrics.Incast
+	if !s.spec.Preregistered {
+		cls := metrics.Background
+		if s.spec.Incast {
+			cls = metrics.Incast
+		}
+		s.met.StartFlow(metrics.FlowRecord{
+			ID:    s.spec.ID,
+			Class: cls,
+			Src:   s.spec.Src,
+			Dst:   s.spec.Dst,
+			Size:  s.spec.Size,
+			Start: s.eng.Now(),
+			Query: s.spec.Query,
+		})
 	}
-	s.met.StartFlow(metrics.FlowRecord{
-		ID:    s.spec.ID,
-		Class: cls,
-		Src:   s.spec.Src,
-		Dst:   s.spec.Dst,
-		Size:  s.spec.Size,
-		Start: s.eng.Now(),
-		Query: s.spec.Query,
-	})
 	if s.h.Marker != nil {
 		s.h.Marker.StartFlow(s.spec.ID, s.spec.Dst, s.spec.Size)
 	}

@@ -26,6 +26,9 @@ import (
 // Both runs execute in this process and getrusage's high-water mark is
 // monotone, so the measurement order (small first) is load-bearing.
 func TestScaleSublinearRSS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-flow RSS check takes minutes")
+	}
 	if os.Getenv("VERTIGO_SCALE_TEST") == "" {
 		t.Skip("set VERTIGO_SCALE_TEST=1 to run the million-flow RSS check (minutes)")
 	}

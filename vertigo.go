@@ -125,6 +125,14 @@ type Config struct {
 	// traced flow to this file (PacketTraceFlow; 0 traces everything).
 	PacketTracePath string
 	PacketTraceFlow uint64
+
+	// Shards, when > 1, partitions the fabric into that many topology
+	// domains and runs them on separate cores under a conservative
+	// time-window protocol. A sharded run is deterministic for a given
+	// shard count but statistically — not bitwise — comparable to a serial
+	// run; scenarios a shard cannot carry (Telemetry, text packet traces)
+	// degrade to the serial engine.
+	Shards int
 }
 
 // Defaults returns the paper's default settings (Table 1, §4.1) for a
@@ -326,6 +334,7 @@ func (cfg Config) lower() (core.Config, error) {
 		cc.SetIncastLoad(cfg.IncastLoad)
 	}
 	cc.Telemetry = cfg.Telemetry
+	cc.Shards = cfg.Shards
 	if cfg.PacketTracePath != "" {
 		f, err := os.Create(cfg.PacketTracePath)
 		if err != nil {
